@@ -1,0 +1,43 @@
+"""Future-work bench: binary XML vs text XML for dispatcher traffic.
+
+Quantifies the "extensions to other protocols, such as binary XML"
+investigation: wire size and encode/decode cost for the standard
+WS-Addressing echo message both ways.
+"""
+
+from repro.soap import Envelope
+from repro.soap.binxml import decode_envelope, encode_envelope
+from repro.workload.echo import make_echo_message
+
+_ENV = make_echo_message("urn:wsd:echo", "uuid:bench-1")
+_TEXT = _ENV.to_bytes()
+_BINARY = encode_envelope(_ENV)
+
+
+def test_binxml_encode(benchmark, record_report):
+    out = benchmark(encode_envelope, _ENV)
+    assert out.startswith(b"BX1")
+    ratio = len(_BINARY) / len(_TEXT)
+    record_report(
+        "binxml_sizes",
+        "== Binary XML extension ==\n"
+        f"text XML envelope:   {len(_TEXT)} bytes\n"
+        f"binary envelope:     {len(_BINARY)} bytes\n"
+        f"size ratio:          {ratio:.2f}",
+    )
+    assert ratio < 0.9  # meaningfully smaller for addressed SOAP traffic
+
+
+def test_binxml_decode(benchmark):
+    env = benchmark(decode_envelope, _BINARY)
+    assert env.body is not None
+
+
+def test_text_encode_baseline(benchmark):
+    out = benchmark(_ENV.to_bytes)
+    assert out.startswith(b"<?xml")
+
+
+def test_text_decode_baseline(benchmark):
+    env = benchmark(Envelope.from_bytes, _TEXT)
+    assert env.body is not None

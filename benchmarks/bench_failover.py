@@ -1,0 +1,108 @@
+"""Ablation A5 — replica failover with registry liveness probing.
+
+The paper's future-work registry does health checks ("checking if service
+is alive") and load balancing over replicas.  This bench crashes one of
+two echo replicas mid-run and measures how the error window shrinks as
+the liveness-probe interval tightens — the operational payoff of the
+health-check machinery.
+"""
+
+from dataclasses import replace
+
+from repro.core.registry import ServiceRegistry
+from repro.core.sim_dispatcher import SimRpcDispatcher
+from repro.rt.service import SoapHttpApp
+from repro.simnet.httpsim import SimHttpServer, sim_http_request
+from repro.simnet.kernel import Simulator
+from repro.simnet.scenarios import BACKBONE_IU, INRIA, add_site
+from repro.simnet.topology import Network
+from repro.http import HttpRequest
+from repro.workload.echo import EchoService
+from repro.workload.sim_testclient import SimRampConfig, SimRampTester
+
+
+def run_failover(probe_interval: float, duration: float, crash_at: float):
+    sim = Simulator()
+    net = Network(sim)
+    client = add_site(net, INRIA, name="inria")
+    wsd = add_site(net, replace(BACKBONE_IU, name="wsd"), open_ports=(8000,))
+
+    replica_hosts = []
+    replicas = []
+    for i in range(2):
+        host = add_site(
+            net, replace(BACKBONE_IU, name=f"replica{i}"), open_ports=(9000,)
+        )
+        app = SoapHttpApp()
+        app.mount("/echo", EchoService())
+        SimHttpServer(
+            net, host, 9000,
+            lambda r, app=app: app.handle_request(r, None),
+            workers=16, service_time=0.003,
+        )
+        replica_hosts.append(host)
+        replicas.append(f"http://replica{i}:9000/echo")
+
+    # health-aware selection: skip replicas the prober marked down
+    down: set[str] = set()
+
+    def selector(record):
+        healthy = [a for a in record.physical if a not in down]
+        return healthy[0] if healthy else record.physical[0]
+
+    registry = ServiceRegistry(selector=selector)
+    registry.register("echo", replicas)
+    dispatcher = SimRpcDispatcher(net, wsd, registry, connect_timeout=1.0)
+    SimHttpServer(net, wsd, 8000, dispatcher.handler, workers=32)
+
+    def prober():
+        """The registry's periodic liveness probe, as a sim process."""
+        while True:
+            yield sim.timeout(probe_interval)
+            for i, url in enumerate(replicas):
+                host = replica_hosts[i]
+                alive = registry.check_alive(
+                    "echo", lambda addr, h=host: not h.failed, now=sim.now
+                )
+                if host.failed or not alive:
+                    down.add(url)
+                else:
+                    down.discard(url)
+
+    sim.process(prober())
+
+    def crasher():
+        yield sim.timeout(crash_at)
+        replica_hosts[0].fail()
+
+    sim.process(crasher())
+
+    tester = SimRampTester(net, client, "wsd", 8000, "/rpc/echo")
+    result = tester.run(SimRampConfig(
+        clients=10, duration=duration,
+        connect_timeout=2.0, response_timeout=5.0,
+        retry_backoff=0.2,
+    ))
+    return result
+
+
+def test_a5_failover_window(benchmark, paper_scale, record_report):
+    duration = 60.0 if paper_scale else 30.0
+    crash_at = duration / 3
+
+    def sweep():
+        rows = ["probe_interval\ttransmitted\terrors+lost"]
+        outcomes = {}
+        for interval in (10.0, 2.0, 0.5):
+            result = run_failover(interval, duration, crash_at)
+            bad = result.errors + result.not_sent
+            rows.append(f"{interval}\t{result.transmitted}\t{bad}")
+            outcomes[interval] = (result.transmitted, bad)
+        return "\n".join(rows), outcomes
+
+    text, outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_report("ablation_a5_failover", text)
+    # tighter probing must shrink the failure window
+    assert outcomes[0.5][1] <= outcomes[10.0][1]
+    # and keep goodput at least as high
+    assert outcomes[0.5][0] >= outcomes[10.0][0]

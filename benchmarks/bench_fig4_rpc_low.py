@@ -1,0 +1,29 @@
+"""Figure 4 — RPC communication over low broadband (cable modem).
+
+Regenerates both series of the figure (packets transmitted and packets
+not sent, direct vs RPC-Dispatcher) and asserts the paper's shape: clean
+at small client counts, the connection limit bites between 100 and 500,
+heavy loss at the top of the range, and the dispatcher costs little.
+"""
+
+from repro.experiments import fig4
+from repro.workload.results import render_ascii_plot
+
+
+def test_fig4_rpc_low_broadband(benchmark, paper_scale, record_report):
+    if paper_scale:
+        counts, duration = fig4.PAPER_CLIENT_COUNTS, fig4.PAPER_DURATION
+    else:
+        counts, duration = [10, 100, 500, 2000], 20.0
+
+    report = benchmark.pedantic(
+        lambda: fig4.run(client_counts=counts, duration=duration),
+        rounds=1,
+        iterations=1,
+    )
+    failures = fig4.check_shape(report)
+    text = report.render() + "\n\n" + render_ascii_plot(
+        report.series, "transmitted", log_y=True, title="Fig4 transmitted"
+    )
+    record_report("fig4", text)
+    assert failures == [], failures

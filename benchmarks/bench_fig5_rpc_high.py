@@ -1,0 +1,28 @@
+"""Figure 5 — RPC communication, high connectivity (messages/minute).
+
+Regenerates both curves (direct WS-RPC vs via RPC-Dispatcher) and asserts
+the paper's shape: zero loss, ramp-up, plateau past ~200 clients, and a
+dispatcher overhead small enough that the curves track each other.
+"""
+
+from repro.experiments import fig5
+from repro.workload.results import render_ascii_plot
+
+
+def test_fig5_rpc_high_connectivity(benchmark, paper_scale, record_report):
+    if paper_scale:
+        counts, duration = fig5.PAPER_CLIENT_COUNTS, fig5.PAPER_DURATION
+    else:
+        counts, duration = [10, 50, 100, 200, 300], 15.0
+
+    report = benchmark.pedantic(
+        lambda: fig5.run(client_counts=counts, duration=duration),
+        rounds=1,
+        iterations=1,
+    )
+    failures = fig5.check_shape(report)
+    text = report.render() + "\n\n" + render_ascii_plot(
+        report.series, "per_minute", title="Fig5 messages/minute"
+    )
+    record_report("fig5", text)
+    assert failures == [], failures

@@ -1,0 +1,30 @@
+"""Figure 6 — asynchronous communication (the headline result).
+
+Regenerates the three curves: one-way direct with blocked responses, via
+MSG-Dispatcher alone, and via MSG-Dispatcher + WS-MsgBox.  Asserts the
+paper's ordering above 10 clients: MsgBox best, dispatcher-without-msgbox
+slowest.
+"""
+
+from repro.experiments import fig6
+from repro.workload.results import render_ascii_plot
+
+
+def test_fig6_async_messaging(benchmark, paper_scale, record_report):
+    if paper_scale:
+        counts, duration = fig6.PAPER_CLIENT_COUNTS, fig6.PAPER_DURATION
+    else:
+        counts, duration = [1, 10, 30, 50], 60.0  # full 60 s: the queueing
+        # dynamics need the steady state; simulated time is cheap
+
+    report = benchmark.pedantic(
+        lambda: fig6.run(client_counts=counts, duration=duration),
+        rounds=1,
+        iterations=1,
+    )
+    failures = fig6.check_shape(report)
+    text = report.render() + "\n\n" + render_ascii_plot(
+        report.series, "per_minute", title="Fig6 messages/minute"
+    )
+    record_report("fig6", text)
+    assert failures == [], failures

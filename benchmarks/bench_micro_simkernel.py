@@ -1,0 +1,83 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+The figure experiments push hundreds of thousands of events per run;
+these benches track the kernel's event throughput so regressions in the
+substrate are visible separately from the systems under test.
+"""
+
+from repro.simnet.kernel import Simulator
+from repro.simnet.resources import Resource, Store
+from repro.simnet.topology import AccessLink, Network
+
+
+def test_kernel_timeout_throughput(benchmark):
+    def run_10k_events():
+        sim = Simulator()
+
+        def ticker():
+            for _ in range(10_000):
+                yield sim.timeout(0.001)
+
+        sim.process(ticker())
+        sim.run()
+        return sim.events_processed
+
+    assert benchmark(run_10k_events) >= 10_000
+
+
+def test_store_producer_consumer_throughput(benchmark):
+    def run_5k_items():
+        sim = Simulator()
+        store = Store(sim, capacity=64)
+
+        def producer():
+            for i in range(5_000):
+                yield store.put(i)
+
+        def consumer():
+            for _ in range(5_000):
+                yield store.get()
+
+        sim.process(producer())
+        done = sim.process(consumer())
+        sim.run(done)
+        return sim.now
+
+    benchmark(run_5k_items)
+
+
+def test_resource_contention_throughput(benchmark):
+    def run_contended():
+        sim = Simulator()
+        res = Resource(sim, capacity=4)
+
+        def user():
+            for _ in range(100):
+                req = yield res.request()
+                yield sim.timeout(0.001)
+                req.release()
+
+        for _ in range(32):
+            sim.process(user())
+        sim.run()
+        return sim.events_processed
+
+    benchmark(run_contended)
+
+
+def test_network_transfer_throughput(benchmark):
+    def run_transfers():
+        sim = Simulator()
+        net = Network(sim)
+        a = net.add_host("a", AccessLink(10_000, 10_000, 0.001))
+        b = net.add_host("b", AccessLink(10_000, 10_000, 0.001))
+
+        def sender():
+            for _ in range(2_000):
+                yield net.transfer(a, b, 500)
+
+        done = sim.process(sender())
+        sim.run(done)
+        return a.link.up.bytes_carried
+
+    assert benchmark(run_transfers) == 1_000_000

@@ -1,0 +1,95 @@
+"""Microbenchmarks of the message-processing stack.
+
+The paper's framing question is whether Java (here: Python) is *suitable*
+to implement a scalable dispatcher — these benches quantify the
+per-message cost of every layer the dispatcher touches: XML parse and
+serialize, SOAP envelope round trip, the WS-Addressing rewrite, HTTP
+framing, and registry lookup.
+"""
+
+from repro.core.registry import ServiceRegistry
+from repro.http import HttpRequest
+from repro.http.wire import RequestParser, serialize_request
+from repro.soap import Envelope
+from repro.util.ids import IdGenerator
+from repro.workload.echo import make_echo_message, make_echo_request
+from repro.wsa import rewrite_for_forwarding
+from repro.xmlmini import parse, serialize
+
+_IDS = IdGenerator("bench", seed=1)
+_ECHO_WIRE = make_echo_request().to_bytes()
+_MSG = make_echo_message("urn:wsd:echo", _IDS.next())
+_MSG_WIRE = _MSG.to_bytes()
+_HTTP_WIRE = serialize_request(
+    HttpRequest("POST", "/msg/echo", body=_MSG_WIRE)
+)
+
+
+def test_xml_parse_echo_doc(benchmark):
+    tree = benchmark(parse, _ECHO_WIRE)
+    assert tree.name.local == "Envelope"
+
+
+def test_xml_serialize_echo_doc(benchmark):
+    tree = parse(_ECHO_WIRE)
+    out = benchmark(serialize, tree)
+    assert "Envelope" in out
+
+
+def test_soap_envelope_roundtrip(benchmark):
+    def roundtrip():
+        return Envelope.from_bytes(_ECHO_WIRE).to_bytes()
+
+    assert benchmark(roundtrip) == _ECHO_WIRE
+
+
+def test_wsa_rewrite(benchmark):
+    env = Envelope.from_bytes(_MSG_WIRE)
+
+    def rewrite():
+        return rewrite_for_forwarding(
+            env, "http://inside:9000/echo", "http://wsd:8000/msg"
+        )
+
+    result = benchmark(rewrite)
+    assert result.physical_to == "http://inside:9000/echo"
+
+
+def test_http_request_parse(benchmark):
+    def parse_one():
+        p = RequestParser()
+        p.feed(_HTTP_WIRE)
+        return p.next_message()
+
+    req = benchmark(parse_one)
+    assert req.method == "POST"
+
+
+def test_http_request_serialize(benchmark):
+    req = HttpRequest("POST", "/msg/echo", body=_MSG_WIRE)
+    wire = benchmark(serialize_request, req)
+    assert wire.startswith(b"POST")
+
+
+def test_registry_lookup(benchmark):
+    registry = ServiceRegistry()
+    for i in range(1000):
+        registry.register(f"svc-{i}", f"http://host-{i}:80/svc")
+
+    address = benchmark(registry.resolve, "svc-500")
+    assert address == "http://host-500:80/svc"
+
+
+def test_full_dispatcher_message_path(benchmark):
+    """Everything a CxThread does to one message, end to end."""
+    registry = ServiceRegistry()
+    registry.register("echo", "http://inside:9000/echo")
+
+    def process():
+        env = Envelope.from_bytes(_MSG_WIRE)
+        physical = registry.resolve("echo")
+        result = rewrite_for_forwarding(env, physical, "http://wsd:8000/msg")
+        return result.envelope.to_bytes()
+
+    wire = benchmark(process)
+    assert b"inside:9000" in wire

@@ -1,0 +1,20 @@
+"""F6b / §4.3.2 — the WS-MsgBox thread-explosion bug, reproduced.
+
+thread-per-message delivery must crash with (simulated) OutOfMemory above
+a client threshold; the bounded-pool redesign must survive the identical
+burst by shedding acknowledgements.
+"""
+
+from repro.experiments import ablations
+
+
+def test_msgbox_thread_explosion(benchmark, paper_scale, record_report):
+    counts = [10, 25, 50, 100] if paper_scale else [10, 60]
+    report = benchmark.pedantic(
+        lambda: ablations.msgbox_bug(client_counts=counts),
+        rounds=1,
+        iterations=1,
+    )
+    failures = ablations.check_msgbox_bug(report)
+    record_report("msgbox_bug", report.render())
+    assert failures == [], failures

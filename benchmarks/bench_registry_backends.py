@@ -1,0 +1,45 @@
+"""Microbench: registry persistence backends (text file vs SQLite vs RAM).
+
+The paper used text files and planned "a relational database such as
+MySQL" for performance.  This bench quantifies the trade: reads are
+served from the in-memory map either way, so the backend only prices
+*mutations* — and the text file rewrites the whole file per put while
+SQLite does a transactional upsert.
+"""
+
+import pytest
+
+from repro.core.registry import ServiceRegistry
+from repro.util.sqldb import SqliteMap
+
+
+def _fill(registry: ServiceRegistry, n: int = 100) -> None:
+    for i in range(n):
+        registry.register(f"svc-{i}", f"http://host-{i}:80/svc")
+
+
+@pytest.fixture(params=["memory", "textfile", "sqlite"])
+def registry(request, tmp_path):
+    if request.param == "memory":
+        reg = ServiceRegistry()
+    elif request.param == "textfile":
+        reg = ServiceRegistry(persist_path=str(tmp_path / "reg.txt"))
+    else:
+        reg = ServiceRegistry(backend=SqliteMap(str(tmp_path / "reg.sqlite")))
+    _fill(reg)
+    return reg
+
+
+def test_register_cost(benchmark, registry):
+    counter = [0]
+
+    def register_one():
+        counter[0] += 1
+        registry.register(f"new-{counter[0]}", "http://new:80/svc")
+
+    benchmark(register_one)
+
+
+def test_resolve_cost_is_backend_independent(benchmark, registry):
+    address = benchmark(registry.resolve, "svc-50")
+    assert address == "http://host-50:80/svc"

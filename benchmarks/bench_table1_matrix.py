@@ -1,0 +1,22 @@
+"""Table 1 — the interaction matrix, verified mechanically.
+
+For each quadrant (RPC/messaging client × RPC/messaging service) the
+bench measures whether a fast and a pathologically slow service call
+complete, plus throughput at a moderate delay, and asserts the paper's
+verdicts: only messaging↔messaging is free of transport time limits, and
+translation to an RPC service is the bottleneck.
+"""
+
+from repro.experiments import table1
+
+
+def test_table1_interaction_matrix(benchmark, paper_scale, record_report):
+    clients, duration = (10, 30.0) if paper_scale else (5, 15.0)
+    report = benchmark.pedantic(
+        lambda: table1.run(clients=clients, duration=duration),
+        rounds=1,
+        iterations=1,
+    )
+    failures = table1.check_shape(report)
+    record_report("table1", report.render())
+    assert failures == [], failures

@@ -1,0 +1,44 @@
+"""Benchmark harness configuration.
+
+Each figure/table benchmark runs its experiment once (timed with
+``benchmark.pedantic``), prints the regenerated rows/series, and writes
+them under ``benchmarks/out/`` so EXPERIMENTS.md can quote them.
+
+Scale: ``--paper-scale`` runs the paper's full parameters (60 s simulated
+per point, full client grids).  The default is a reduced grid that still
+exercises every regime of every curve.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="run experiments at the paper's full parameters",
+    )
+
+
+@pytest.fixture
+def paper_scale(request) -> bool:
+    return request.config.getoption("--paper-scale")
+
+
+@pytest.fixture
+def record_report():
+    """Write an experiment report to benchmarks/out/<name>.txt and stdout."""
+
+    def _record(name: str, text: str) -> None:
+        OUT_DIR.mkdir(exist_ok=True)
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n")
+
+    return _record

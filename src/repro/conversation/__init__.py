@@ -1,0 +1,32 @@
+"""Long-running conversations over one-way messages (the paper's goal).
+
+The paper's abstract promises "reliable and long running conversations
+through firewalls between Web Service peers that have no accessible
+network endpoints".  The substrate below (WS-MsgBox + WS-Addressing)
+makes individual one-way messages possible; this package adds the
+*conversation* semantics on top:
+
+- a **conversation id** header groups messages into one logical exchange;
+- per-conversation **sequence numbers** give total order — out-of-order
+  arrivals (mailbox polling is batchy) are buffered and released in order;
+- **duplicate suppression** by MessageID makes at-least-once transports
+  (hold/retry redelivery) look effectively-once;
+- `RelatesTo` chains each turn to the previous one.
+
+See ``examples/firewalled_peers.py`` for the hand-rolled version of this
+pattern and :class:`ConversationPeer` for the packaged one.
+"""
+
+from repro.conversation.session import (
+    CONVERSATION_NS,
+    Conversation,
+    ConversationPeer,
+    ConversationMessage,
+)
+
+__all__ = [
+    "CONVERSATION_NS",
+    "Conversation",
+    "ConversationPeer",
+    "ConversationMessage",
+]

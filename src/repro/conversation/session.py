@@ -1,0 +1,244 @@
+"""Conversation sessions: ordered, deduplicated multi-turn exchanges.
+
+Header blocks (namespace ``urn:repro:conversation``):
+
+- ``<cv:ConversationId>`` — groups messages into one conversation;
+- ``<cv:Seq>`` — the sender's per-conversation sequence number (1-based).
+
+A :class:`ConversationPeer` owns a mailbox (its inbox) and an HTTP client
+(its outbox).  ``poll()`` drains the mailbox and feeds messages into
+per-conversation reassembly buffers; ``Conversation.receive()`` returns
+messages strictly in sequence order regardless of arrival order, dropping
+duplicates.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.msgbox.client import MsgBoxClient
+from repro.reliable.holdretry import DuplicateFilter
+from repro.rt.client import HttpClient
+from repro.soap import Envelope
+from repro.util.clock import Clock, MonotonicClock
+from repro.util.ids import IdGenerator
+from repro.wsa import AddressingHeaders, EndpointReference
+from repro.xmlmini import Element, QName
+
+CONVERSATION_NS = "urn:repro:conversation"
+Q_CONVERSATION_ID = QName(CONVERSATION_NS, "ConversationId")
+Q_SEQ = QName(CONVERSATION_NS, "Seq")
+
+
+@dataclass
+class ConversationMessage:
+    """One in-order turn delivered to the application."""
+
+    conversation_id: str
+    seq: int
+    envelope: Envelope
+    sender: EndpointReference | None
+    message_id: str | None
+
+
+@dataclass
+class _ConversationState:
+    conversation_id: str
+    next_send_seq: int = 1
+    next_recv_seq: int = 1
+    last_remote_message_id: str | None = None
+    #: out-of-order arrivals waiting for their predecessors
+    pending: dict[int, ConversationMessage] = field(default_factory=dict)
+    #: in-order messages ready for receive()
+    ready: list[ConversationMessage] = field(default_factory=list)
+    remote: EndpointReference | None = None
+
+
+class Conversation:
+    """Application handle for one conversation."""
+
+    def __init__(self, peer: "ConversationPeer", state: _ConversationState) -> None:
+        self._peer = peer
+        self._state = state
+
+    @property
+    def id(self) -> str:
+        return self._state.conversation_id
+
+    @property
+    def remote(self) -> EndpointReference | None:
+        """The other side's reply EPR, once a message has arrived."""
+        return self._state.remote
+
+    def send(self, body: Element, to: EndpointReference | None = None) -> str:
+        """Send the next turn; returns its MessageID.
+
+        ``to`` defaults to the last known remote EPR (required for the
+        first turn of an outbound conversation).
+        """
+        target = to or self._state.remote
+        if target is None:
+            raise ReproError(
+                f"conversation {self.id}: no destination known yet — pass `to`"
+            )
+        message_id = self._peer._send_turn(self._state, body, target)
+        if self._state.remote is None:
+            self._state.remote = target  # remember the first destination
+        return message_id
+
+    def receive(self, timeout: float = 5.0, poll_interval: float = 0.05
+                ) -> ConversationMessage:
+        """Next in-order message; polls the mailbox until it arrives.
+
+        Raises :class:`TimeoutError` when ``timeout`` elapses first.
+        """
+        deadline = self._peer.clock.now() + timeout
+        while True:
+            with self._peer._lock:
+                if self._state.ready:
+                    return self._state.ready.pop(0)
+            if self._peer.clock.now() >= deadline:
+                raise TimeoutError(
+                    f"conversation {self.id}: no message within {timeout}s"
+                )
+            self._peer.poll()
+            self._peer.clock.sleep(poll_interval)
+
+    def pending_out_of_order(self) -> int:
+        with self._peer._lock:
+            return len(self._state.pending)
+
+
+class ConversationPeer:
+    """A firewalled peer: mailbox inbox + outbound-HTTP outbox.
+
+    ``mailbox`` must already be created (``MsgBoxClient.create()``); its
+    EPR is advertised as ReplyTo on every outgoing turn.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        http: HttpClient,
+        mailbox: MsgBoxClient,
+        clock: Clock | None = None,
+        dedup_window: float = 600.0,
+    ) -> None:
+        self.name = name
+        self.http = http
+        self.mailbox = mailbox
+        self.clock = clock or MonotonicClock()
+        self.ids = IdGenerator(f"cv-{name}")
+        self._dedup = DuplicateFilter(window=dedup_window, clock=self.clock)
+        self._conversations: dict[str, _ConversationState] = {}
+        self._lock = threading.Lock()
+        self.duplicates_dropped = 0
+
+    # -- conversation management -----------------------------------------
+    def start(self, conversation_id: str | None = None) -> Conversation:
+        """Open a new outbound conversation."""
+        cid = conversation_id or self.ids.next()
+        with self._lock:
+            if cid in self._conversations:
+                raise ReproError(f"conversation {cid!r} already exists")
+            state = _ConversationState(cid)
+            self._conversations[cid] = state
+        return Conversation(self, state)
+
+    def conversation(self, conversation_id: str) -> Conversation:
+        """Handle for a conversation (created on first sight if unknown)."""
+        with self._lock:
+            state = self._conversations.get(conversation_id)
+            if state is None:
+                state = _ConversationState(conversation_id)
+                self._conversations[conversation_id] = state
+        return Conversation(self, state)
+
+    def conversations(self) -> list[str]:
+        with self._lock:
+            return sorted(self._conversations)
+
+    # -- outbound ------------------------------------------------------------
+    def _send_turn(
+        self,
+        state: _ConversationState,
+        body: Element,
+        target: EndpointReference,
+    ) -> str:
+        envelope = Envelope(body.copy())
+        message_id = self.ids.next()
+        with self._lock:
+            seq = state.next_send_seq
+            state.next_send_seq += 1
+            relates = state.last_remote_message_id
+        headers = AddressingHeaders(
+            to=target.address,
+            action=f"{CONVERSATION_NS}/turn",
+            message_id=message_id,
+            relates_to=[relates] if relates else [],
+            reply_to=self.mailbox.epr(),
+            reference_headers=[p.copy() for p in target.reference_properties],
+        )
+        headers.attach(envelope)
+        envelope.headers.append(Element(Q_CONVERSATION_ID, text=state.conversation_id))
+        envelope.headers.append(Element(Q_SEQ, text=str(seq)))
+        response = self.http.post_envelope(target.address, envelope)
+        if response.status >= 400:
+            raise ReproError(
+                f"conversation {state.conversation_id}: turn rejected "
+                f"with HTTP {response.status}"
+            )
+        return message_id
+
+    # -- inbound --------------------------------------------------------------
+    def poll(self, max_messages: int = 32) -> int:
+        """Drain the mailbox into conversation buffers; returns intake count."""
+        envelopes = self.mailbox.take(max_messages=max_messages)
+        accepted = 0
+        for envelope in envelopes:
+            if self._accept(envelope):
+                accepted += 1
+        return accepted
+
+    def _accept(self, envelope: Envelope) -> bool:
+        headers = AddressingHeaders.from_envelope(envelope)
+        cid_el = envelope.find_header(Q_CONVERSATION_ID)
+        seq_el = envelope.find_header(Q_SEQ)
+        if cid_el is None or seq_el is None:
+            return False  # not conversation traffic; ignore
+        try:
+            seq = int(seq_el.text.strip())
+        except ValueError:
+            return False
+        if headers.message_id and self._dedup.seen(headers.message_id):
+            with self._lock:
+                self.duplicates_dropped += 1
+            return False
+
+        cid = cid_el.text.strip()
+        message = ConversationMessage(
+            conversation_id=cid,
+            seq=seq,
+            envelope=envelope,
+            sender=headers.reply_to,
+            message_id=headers.message_id,
+        )
+        with self._lock:
+            state = self._conversations.get(cid)
+            if state is None:
+                state = _ConversationState(cid)
+                self._conversations[cid] = state
+            if headers.reply_to is not None and not headers.reply_to.is_anonymous:
+                state.remote = headers.reply_to
+            if headers.message_id:
+                state.last_remote_message_id = headers.message_id
+            if seq < state.next_recv_seq or seq in state.pending:
+                self.duplicates_dropped += 1
+                return False  # stale retransmission
+            state.pending[seq] = message
+            while state.next_recv_seq in state.pending:
+                state.ready.append(state.pending.pop(state.next_recv_seq))
+                state.next_recv_seq += 1
+        return True

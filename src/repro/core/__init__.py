@@ -1,0 +1,39 @@
+"""The paper's contribution: WS-Dispatcher (RPC + MSG variants) and Registry.
+
+Layout:
+
+- :mod:`repro.core.registry` — logical→physical service registry (shared
+  module, "independent from forwarding requests" per the paper).
+- :mod:`repro.core.routing` — pure address-extraction and forwarding
+  decisions shared by every dispatcher hosting.
+- :mod:`repro.core.rpc_dispatcher` — the HTTP-proxy-style forwarder.
+- :mod:`repro.core.msg_dispatcher` — the asynchronous WS-Addressing
+  router with CxThread/WsThread pools.
+- :mod:`repro.core.loadbalance` — registry-integrated load balancing over
+  a dispatcher farm (paper §"Conclusions and Future Work").
+- :mod:`repro.core.sso` — single sign-on gate (future work).
+"""
+
+from repro.core.registry import ServiceRecord, ServiceRegistry, RegistryService
+from repro.core.routing import extract_logical, logical_uri
+from repro.core.rpc_dispatcher import RpcDispatcher
+from repro.core.msg_dispatcher import MsgDispatcher, MsgDispatcherConfig
+from repro.core.loadbalance import BalancerPolicy, DispatcherFarm
+from repro.core.sso import SsoGate, TokenIssuer
+from repro.core.status import StatusPage
+
+__all__ = [
+    "ServiceRecord",
+    "ServiceRegistry",
+    "RegistryService",
+    "extract_logical",
+    "logical_uri",
+    "RpcDispatcher",
+    "MsgDispatcher",
+    "MsgDispatcherConfig",
+    "BalancerPolicy",
+    "DispatcherFarm",
+    "SsoGate",
+    "TokenIssuer",
+    "StatusPage",
+]

@@ -1,0 +1,183 @@
+"""Load balancing over service replicas and dispatcher farms (future work).
+
+Paper §4.4: "we plan to integrate a load-balancing system into the
+Registry service that uses a farm of WS-Dispatchers."
+
+Two pieces:
+
+- :class:`BalancerPolicy` — selection strategies over a
+  :class:`~repro.core.registry.ServiceRecord`'s physical addresses,
+  pluggable as the registry's ``selector``.  ``least_pending`` needs load
+  feedback, which the policies receive through :meth:`on_start` /
+  :meth:`on_finish` callbacks from the dispatcher.
+- :class:`DispatcherFarm` — a front tier that spreads incoming client
+  traffic over several dispatcher instances, with liveness-based failover.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Callable
+
+from repro.core.registry import ServiceRecord
+from repro.errors import RoutingError
+
+
+class BalancerPolicy:
+    """Base: pick one address from a record; track in-flight load."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._pending: dict[str, int] = {}
+        self._picks: dict[str, int] = {}
+
+    # registry selector signature
+    def __call__(self, record: ServiceRecord) -> str:
+        choice = self.select(record.physical)
+        with self._lock:
+            self._picks[choice] = self._picks.get(choice, 0) + 1
+        return choice
+
+    def select(self, addresses: list[str]) -> str:
+        raise NotImplementedError
+
+    # -- load feedback -----------------------------------------------------
+    def on_start(self, address: str) -> None:
+        with self._lock:
+            self._pending[address] = self._pending.get(address, 0) + 1
+
+    def on_finish(self, address: str) -> None:
+        with self._lock:
+            self._pending[address] = max(0, self._pending.get(address, 0) - 1)
+
+    def pending(self, address: str) -> int:
+        with self._lock:
+            return self._pending.get(address, 0)
+
+    @property
+    def pick_counts(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._picks)
+
+
+class RoundRobin(BalancerPolicy):
+    """Cycle through addresses in order."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._counter = 0
+
+    def select(self, addresses: list[str]) -> str:
+        with self._lock:
+            choice = addresses[self._counter % len(addresses)]
+            self._counter += 1
+            return choice
+
+
+class RandomChoice(BalancerPolicy):
+    """Uniform random selection (seedable for reproducible tests)."""
+
+    name = "random"
+
+    def __init__(self, seed: int | None = None) -> None:
+        super().__init__()
+        self._rng = random.Random(seed)
+
+    def select(self, addresses: list[str]) -> str:
+        with self._lock:
+            return self._rng.choice(addresses)
+
+
+class LeastPending(BalancerPolicy):
+    """Pick the address with the fewest in-flight requests (ties: first)."""
+
+    name = "least_pending"
+
+    def select(self, addresses: list[str]) -> str:
+        with self._lock:
+            return min(addresses, key=lambda a: (self._pending.get(a, 0),))
+
+
+def make_policy(name: str, seed: int | None = None) -> BalancerPolicy:
+    """Factory by policy name (used by benchmarks and examples)."""
+    if name == "round_robin":
+        return RoundRobin()
+    if name == "random":
+        return RandomChoice(seed)
+    if name == "least_pending":
+        return LeastPending()
+    raise ValueError(f"unknown balancer policy {name!r}")
+
+
+class DispatcherFarm:
+    """Client-side front tier over a farm of equivalent dispatchers.
+
+    ``pick`` returns the base URL of a healthy dispatcher according to the
+    policy; ``report_failure`` marks one down so traffic fails over, and
+    ``revive`` (or a liveness probe) brings it back.
+    """
+
+    def __init__(
+        self,
+        dispatcher_urls: list[str],
+        policy: BalancerPolicy | None = None,
+    ) -> None:
+        if not dispatcher_urls:
+            raise RoutingError("farm needs at least one dispatcher")
+        self._urls = list(dispatcher_urls)
+        self._down: set[str] = set()
+        self._policy = policy or RoundRobin()
+        self._lock = threading.Lock()
+
+    def pick(self) -> str:
+        with self._lock:
+            healthy = [u for u in self._urls if u not in self._down]
+        if not healthy:
+            raise RoutingError("no healthy dispatcher in farm")
+        choice = self._policy.select(healthy)
+        self._policy.on_start(choice)
+        return choice
+
+    def finish(self, url: str) -> None:
+        self._policy.on_finish(url)
+
+    def report_failure(self, url: str) -> None:
+        with self._lock:
+            if url in self._urls:
+                self._down.add(url)
+
+    def revive(self, url: str) -> None:
+        with self._lock:
+            self._down.discard(url)
+
+    def probe_all(self, is_alive: Callable[[str], bool]) -> dict[str, bool]:
+        """Run a liveness probe over every member; update the down set."""
+        results: dict[str, bool] = {}
+        for url in list(self._urls):
+            alive = False
+            try:
+                alive = is_alive(url)
+            except Exception:
+                alive = False
+            results[url] = alive
+            with self._lock:
+                if alive:
+                    self._down.discard(url)
+                else:
+                    self._down.add(url)
+        return results
+
+    @property
+    def members(self) -> list[str]:
+        with self._lock:
+            return list(self._urls)
+
+    @property
+    def healthy_members(self) -> list[str]:
+        with self._lock:
+            return [u for u in self._urls if u not in self._down]

@@ -1,0 +1,480 @@
+"""MSG-Dispatcher: asynchronous WS-Addressing message router (paper §4).
+
+Architecture (paper Fig. 3): two configurable thread pools.
+
+- **CxThreads** take accepted messages, map the logical address to the
+  physical WS address via the Registry, and rewrite the WS-Addressing
+  headers so replies come back to the dispatcher.
+- **WsThreads** each own a FIFO queue and a persistent connection to one
+  destination, and drain queued messages to it — several messages ride one
+  connection ("more efficient than opening multiple short lived
+  connections").
+
+Responses from services "are also treated like requests from clients":
+they enter the same pipeline, are recognised by ``wsa:RelatesTo`` matching
+a pending correlation entry, and are forwarded to the client's original
+``ReplyTo`` — a real endpoint or a WS-MsgBox mailbox.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.errors import ReproError, RoutingError, TransportError, UnknownServiceError
+from repro.reliable.policy import RetryPolicy
+from repro.rt.client import HttpClient
+from repro.rt.service import RequestContext
+from repro.soap import Envelope
+from repro.transport.base import parse_http_url
+from repro.util.clock import Clock, MonotonicClock
+from repro.util.concurrency import ClosableQueue, QueueClosed
+from repro.util.stats import Counter
+from repro.wsa import (
+    AddressingHeaders,
+    EndpointReference,
+    rewrite_for_forwarding,
+)
+from repro.core.registry import ServiceRegistry
+from repro.core.routing import extract_logical
+
+
+@dataclass
+class MsgDispatcherConfig:
+    """Tunable knobs (the paper: "the sizes of the pools are configurable")."""
+
+    cx_threads: int = 4
+    ws_threads: int = 8
+    accept_queue: int = 1024
+    destination_queue: int = 1024
+    #: messages drained per connection write burst (batching ablation A2)
+    batch_size: int = 8
+    #: how long a WsThread keeps an idle destination before releasing it
+    destination_idle_ttl: float = 10.0
+    #: correlation (MessageID → ReplyTo) lifetime
+    correlation_ttl: float = 120.0
+    #: per-message delivery retry policy; None = single attempt
+    retry: RetryPolicy | None = None
+    #: ReplyTo prefixes left unrewritten (co-located WS-MsgBox addresses;
+    #: services reply to them directly, paper section 4.3.2)
+    passthrough_reply_prefixes: tuple = ()
+
+
+@dataclass
+class _Correlation:
+    reply_to: EndpointReference | None
+    fault_to: EndpointReference | None
+    expires_at: float
+
+
+@dataclass
+class _OutboundItem:
+    envelope_bytes: bytes
+    target_url: str
+    #: MessageID of the forwarded message — lets an in-band (RPC-style)
+    #: response be correlated back (Table 1 quadrant 3: messaging client
+    #: to RPC service, "translation of semantics from messaging to RPC")
+    message_id: str | None = None
+    attempts: int = 0
+
+
+class _Destination:
+    """A WsThread: FIFO queue + worker bound to one destination *endpoint*.
+
+    Keyed by ``host:port``, not full URL — one WS-MsgBox service hosting a
+    thousand mailboxes is still a single destination with one persistent
+    connection, exactly like one WsThread per Web Service.
+    """
+
+    def __init__(self, endpoint_key: str, capacity: int) -> None:
+        self.endpoint_key = endpoint_key
+        self.queue: ClosableQueue[_OutboundItem] = ClosableQueue(capacity)
+        self.thread: threading.Thread | None = None
+
+
+class MsgDispatcher:
+    """The asynchronous dispatcher, hostable as a one-way SoapService."""
+
+    def __init__(
+        self,
+        registry: ServiceRegistry,
+        client: HttpClient,
+        own_address: str,
+        mount_prefix: str = "/msg",
+        config: MsgDispatcherConfig | None = None,
+        clock: Clock | None = None,
+        hold_store: "object | None" = None,
+        hold_pump_interval: float = 0.25,
+        inspector: "object | None" = None,
+    ) -> None:
+        """``hold_store`` (a :class:`~repro.reliable.HoldRetryStore`) turns
+        on the future-work reliable delivery: messages whose immediate
+        delivery (and in-line retries) fail are *held* and redelivered on
+        the store's schedule until they expire — "hold/retry on delivery
+        ... with expiration time" (paper section 4.4).  A maintenance
+        thread pumps the store every ``hold_pump_interval`` seconds.
+
+        ``inspector`` is the "message security inspection" hook (same
+        shape as the RPC-Dispatcher's): called with (envelope, logical
+        name) before forwarding; raising rejects the message."""
+        self.registry = registry
+        self.client = client
+        self.own_address = own_address
+        self.mount_prefix = mount_prefix
+        self.config = config or MsgDispatcherConfig()
+        self.clock = clock or MonotonicClock()
+        self.hold_store = hold_store
+        self.inspector = inspector
+        self.counters = Counter()
+
+        self._accept_queue: ClosableQueue[tuple[Envelope, str]] = ClosableQueue(
+            self.config.accept_queue
+        )
+        self._correlations: dict[str, _Correlation] = {}
+        self._destinations: dict[str, _Destination] = {}
+        self._lock = threading.Lock()
+        self._ws_slots = threading.Semaphore(self.config.ws_threads)
+        self._running = True
+        self._cx_threads = [
+            threading.Thread(target=self._cx_loop, name=f"cx-{i}", daemon=True)
+            for i in range(self.config.cx_threads)
+        ]
+        for t in self._cx_threads:
+            t.start()
+        if self.hold_store is not None:
+            self._hold_pump = threading.Thread(
+                target=self._hold_pump_loop,
+                args=(hold_pump_interval,),
+                name="hold-pump",
+                daemon=True,
+            )
+            self._hold_pump.start()
+
+    # -- lifecycle ----------------------------------------------------------
+    def stop(self) -> None:
+        self._running = False
+        self._accept_queue.close()
+        with self._lock:
+            dests = list(self._destinations.values())
+        for d in dests:
+            d.queue.close()
+
+    def __enter__(self) -> "MsgDispatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- SoapService entry point (step 1-2 of Fig. 3) ----------------------
+    def handle(self, envelope: Envelope, ctx: RequestContext) -> None:
+        """Accept a one-way message; processing continues on the pools."""
+        try:
+            accepted = self._accept_queue.try_put((envelope, ctx.path))
+        except QueueClosed:
+            raise ReproError("dispatcher is shut down") from None
+        if not accepted:
+            self.counters.inc("dropped_accept_queue_full")
+            raise ReproError("dispatcher accept queue full")
+        self.counters.inc("accepted")
+        return None  # HTTP layer answers 202 Accepted
+
+    # -- CxThread: routing + rewriting (steps 2-4 of Fig. 3) ---------------
+    def _cx_loop(self) -> None:
+        while True:
+            try:
+                envelope, path = self._accept_queue.get()
+            except QueueClosed:
+                return
+            try:
+                self._route_one(envelope, path)
+            except ReproError:
+                self.counters.inc("dropped_unroutable")
+            except Exception:  # noqa: BLE001 - keep pool threads alive
+                self.counters.inc("internal_errors")
+
+    def _route_one(self, envelope: Envelope, path: str) -> None:
+        headers = AddressingHeaders.from_envelope(envelope)
+        now = self.clock.now()
+        self._expire_correlations(now)
+
+        # A response from a WS? (RelatesTo hits a pending correlation)
+        for rel in headers.relates_to:
+            corr = self._pop_correlation(rel)
+            if corr is not None:
+                self._route_response(envelope, headers, corr)
+                return
+
+        # A fresh client request: logical → physical, rewrite, enqueue.
+        to_addr = headers.to or path
+        try:
+            logical = extract_logical(to_addr, self.mount_prefix)
+        except RoutingError:
+            logical = extract_logical(path, self.mount_prefix)
+        try:
+            physical = self.registry.resolve(logical)
+        except UnknownServiceError:
+            self.counters.inc("unknown_service")
+            raise
+
+        if self.inspector is not None:
+            try:
+                self.inspector(envelope, logical)
+            except ReproError:
+                self.counters.inc("rejected_by_inspector")
+                raise
+
+        result = rewrite_for_forwarding(
+            envelope, physical, self.own_address,
+            passthrough_reply_prefixes=self.config.passthrough_reply_prefixes,
+        )
+        if result.original_reply_to or result.original_fault_to:
+            with self._lock:
+                self._correlations[result.message_id] = _Correlation(
+                    reply_to=result.original_reply_to,
+                    fault_to=result.original_fault_to,
+                    expires_at=now + self.config.correlation_ttl,
+                )
+        self._enqueue(
+            result.envelope.to_bytes(), physical, message_id=result.message_id
+        )
+        self.counters.inc("routed_requests")
+
+    def _route_response(
+        self,
+        envelope: Envelope,
+        headers: AddressingHeaders,
+        corr: _Correlation,
+    ) -> None:
+        target = corr.fault_to if envelope.is_fault() and corr.fault_to else corr.reply_to
+        if target is None or target.is_anonymous:
+            self.counters.inc("dropped_no_reply_to")
+            return
+        out = envelope.copy()
+        new_headers = headers.copy()
+        new_headers.to = target.address
+        # Per WSA binding: reference properties of the target EPR become
+        # message headers (this is how the mailbox id reaches WS-MsgBox).
+        new_headers.reference_headers.extend(
+            p.copy() for p in target.reference_properties
+        )
+        new_headers.attach(out)
+        self._enqueue(out.to_bytes(), target.address)
+        self.counters.inc("routed_responses")
+
+    # -- correlation table ----------------------------------------------
+    def _pop_correlation(self, message_id: str) -> _Correlation | None:
+        with self._lock:
+            corr = self._correlations.pop(message_id, None)
+        if corr is None:
+            return None
+        if corr.expires_at < self.clock.now():
+            self.counters.inc("expired_correlations")
+            return None
+        return corr
+
+    def _expire_correlations(self, now: float) -> None:
+        with self._lock:
+            dead = [k for k, c in self._correlations.items() if c.expires_at < now]
+            for k in dead:
+                del self._correlations[k]
+        if dead:
+            self.counters.inc("expired_correlations", len(dead))
+
+    def pending_correlations(self) -> int:
+        with self._lock:
+            return len(self._correlations)
+
+    # -- WsThread: per-destination FIFO + persistent connection ------------
+    @staticmethod
+    def _endpoint_key(target_url: str) -> str:
+        endpoint, _path = parse_http_url(target_url)
+        return str(endpoint)
+
+    def _enqueue(
+        self,
+        envelope_bytes: bytes,
+        target_url: str,
+        message_id: str | None = None,
+    ) -> None:
+        try:
+            key = self._endpoint_key(target_url)
+        except ReproError:
+            self.counters.inc("dropped_unroutable")
+            return
+        with self._lock:
+            dest = self._destinations.get(key)
+            if dest is None:
+                dest = _Destination(key, self.config.destination_queue)
+                self._destinations[key] = dest
+        try:
+            item = _OutboundItem(envelope_bytes, target_url, message_id=message_id)
+            if not dest.queue.try_put(item):
+                self.counters.inc("dropped_destination_queue_full")
+                return
+        except QueueClosed:
+            self.counters.inc("dropped_shutdown")
+            return
+        self._ensure_worker(dest)
+
+    def _ensure_worker(self, dest: _Destination) -> None:
+        with self._lock:
+            if dest.thread is not None and dest.thread.is_alive():
+                return
+            if not self._ws_slots.acquire(blocking=False):
+                # all WsThreads busy; an exiting worker will pick this
+                # destination up via _adopt_orphan.
+                return
+            dest.thread = threading.Thread(
+                target=self._ws_loop,
+                args=(dest,),
+                name=f"ws-{dest.endpoint_key}",
+                daemon=True,
+            )
+            dest.thread.start()
+
+    def _ws_loop(self, dest: _Destination) -> None:
+        try:
+            while self._running:
+                try:
+                    batch = dest.queue.get_batch(
+                        self.config.batch_size,
+                        timeout=self.config.destination_idle_ttl,
+                    )
+                except TimeoutError:
+                    return  # idle: release the slot
+                except QueueClosed:
+                    return
+                for item in batch:
+                    self._deliver(item)
+        finally:
+            with self._lock:
+                dest.thread = None
+            self._ws_slots.release()
+            self._adopt_orphan()
+
+    def _adopt_orphan(self) -> None:
+        """After a slot frees, start a worker for any queued-but-idle dest."""
+        with self._lock:
+            candidates = [
+                d
+                for d in self._destinations.values()
+                if len(d.queue) and (d.thread is None or not d.thread.is_alive())
+            ]
+        for d in candidates:
+            self._ensure_worker(d)
+
+    def _deliver(self, item: _OutboundItem) -> None:
+        item.attempts += 1
+        try:
+            response = self.client.request(
+                item.target_url,
+                _make_post(item.envelope_bytes),
+            )
+            if response.status >= 400:
+                raise TransportError(f"HTTP {response.status} from {item.target_url}")
+        except (TransportError, ReproError):
+            retry = self.config.retry
+            if retry is not None and retry.should_retry(item.attempts):
+                self.clock.sleep(retry.delay_before(item.attempts + 1))
+                self._enqueue_retry(item)
+                self.counters.inc("retries")
+            elif self.hold_store is not None and item.message_id is not None:
+                # reliable mode: park the message for scheduled redelivery
+                self.hold_store.hold(
+                    item.message_id, item.target_url, item.envelope_bytes
+                )
+                self.counters.inc("held_for_retry")
+            else:
+                self.counters.inc("delivery_failures")
+            return
+        self.counters.inc("delivered")
+        self._absorb_inband_response(item, response)
+
+    def _absorb_inband_response(self, item: _OutboundItem, response) -> None:
+        """Quadrant 3 of Table 1: an RPC-style service answered in-band.
+
+        The dispatcher translates the in-band SOAP response into a proper
+        one-way response message (adding RelatesTo so the correlation
+        entry routes it) and feeds it back through the pipeline.
+        """
+        if response.status != 200 or not response.body or item.message_id is None:
+            return
+        try:
+            envelope = Envelope.from_bytes(response.body)
+            headers = AddressingHeaders.from_envelope(envelope)
+        except ReproError:
+            self.counters.inc("inband_unparseable")
+            return
+        if item.message_id not in headers.relates_to:
+            headers.relates_to.append(item.message_id)
+        if not headers.to:
+            headers.to = self.own_address
+        headers.attach(envelope)
+        try:
+            if self._accept_queue.try_put((envelope, self.mount_prefix)):
+                self.counters.inc("inband_responses")
+        except QueueClosed:
+            pass
+
+    def _enqueue_retry(self, item: _OutboundItem) -> None:
+        with self._lock:
+            dest = self._destinations.get(self._endpoint_key(item.target_url))
+        if dest is None:
+            self.counters.inc("delivery_failures")
+            return
+        try:
+            if not dest.queue.try_put(item):
+                self.counters.inc("delivery_failures")
+        except QueueClosed:
+            self.counters.inc("delivery_failures")
+
+    def _hold_pump_loop(self, interval: float) -> None:
+        import time as _time
+
+        while self._running:
+            try:
+                self.hold_store.pump()
+            except Exception:  # noqa: BLE001 - keep the maintenance thread up
+                self.counters.inc("internal_errors")
+            _time.sleep(interval)
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def stats(self) -> dict[str, int]:
+        return self.counters.as_dict()
+
+    def active_destinations(self) -> int:
+        with self._lock:
+            return sum(
+                1
+                for d in self._destinations.values()
+                if d.thread is not None and d.thread.is_alive()
+            )
+
+    def drain(self, timeout: float = 5.0) -> bool:
+        """Wait until every queue is empty (tests); True on success."""
+        import time
+
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                backlog = len(self._accept_queue) + sum(
+                    len(d.queue) for d in self._destinations.values()
+                )
+            if backlog == 0:
+                delivered = self.counters.get("delivered")
+                time.sleep(0.02)
+                if self.counters.get("delivered") == delivered:
+                    return True
+            else:
+                time.sleep(0.01)
+        return False
+
+
+def _make_post(body: bytes):
+    from repro.http import Headers, HttpRequest
+    from repro.soap.constants import SOAP11_CONTENT_TYPE
+
+    headers = Headers()
+    headers.set("Content-Type", SOAP11_CONTENT_TYPE)
+    return HttpRequest("POST", "/", headers=headers, body=body)

@@ -1,0 +1,335 @@
+"""Service registry: logical addresses → physical locations.
+
+Paper §4.1: "Both dispatchers share a common functionality: registry of
+services. ... Each entry in the service registry describes the 'logical'
+address used by clients and the permanent addresses where the service is
+implemented. ... this registry of services could be used like a directory
+or Yellow Pages, possibly as a simple browseable list of WSDL files with
+metadata.  Because creating a real registry of services ... is independent
+from forwarding requests, the registry is an independent module."
+
+Implementation notes mirroring §4.2: the registry is a concurrent map
+(Python dict + RLock — the moral equivalent of the Concurrent Java
+Library's hash map) optionally persisted to a text file
+(:class:`~repro.util.textdb.TextFileMap`).  Entries may carry several
+physical addresses; selection among them is delegated to a pluggable
+policy, which is where the future-work load balancing plugs in
+(:mod:`repro.core.loadbalance`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import RegistryError, UnknownServiceError
+from repro.soap import Envelope, RpcResponse, build_rpc_response, parse_rpc_request
+from repro.util.textdb import TextFileMap
+
+#: SOAP RPC interface namespace of the registry service.
+REGISTRY_NS = "urn:repro:registry"
+
+
+@dataclass
+class ServiceRecord:
+    """One registry entry."""
+
+    logical: str
+    physical: list[str]
+    #: human-readable metadata (description, WSDL pointer, owner ...)
+    metadata: dict[str, str] = field(default_factory=dict)
+    enabled: bool = True
+    #: None = never checked; otherwise (timestamp, alive)
+    last_health: tuple[float, bool] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.logical:
+            raise RegistryError("logical address must be non-empty")
+        if not self.physical:
+            raise RegistryError(f"service {self.logical!r} needs >=1 physical address")
+
+
+class ServiceRegistry:
+    """Thread-safe logical→physical mapping with optional persistence."""
+
+    def __init__(
+        self,
+        persist_path: str | None = None,
+        selector: Callable[[ServiceRecord], str] | None = None,
+        backend: object | None = None,
+    ) -> None:
+        """``backend`` is any TextFileMap-shaped store (put/get/remove/items)
+        — e.g. :class:`~repro.util.sqldb.SqliteMap` for the paper's
+        relational-database future work.  ``persist_path`` is shorthand
+        for the text-file backend."""
+        self._lock = threading.RLock()
+        self._records: dict[str, ServiceRecord] = {}
+        if backend is not None:
+            self._db = backend
+        else:
+            self._db = TextFileMap(persist_path) if persist_path else None
+        self._selector = selector or (lambda record: record.physical[0])
+        self._lookups = 0
+        self._misses = 0
+        if self._db is not None:
+            for logical, primary, attrs in self._db.items():
+                extra = attrs.pop("_alt", "")
+                physical = [primary] + [a for a in extra.split(",") if a]
+                self._records[logical] = ServiceRecord(
+                    logical, physical, metadata=attrs
+                )
+
+    # -- mutation -----------------------------------------------------------
+    def register(
+        self,
+        logical: str,
+        physical: str | list[str],
+        metadata: dict[str, str] | None = None,
+    ) -> ServiceRecord:
+        addresses = [physical] if isinstance(physical, str) else list(physical)
+        record = ServiceRecord(logical, addresses, metadata=dict(metadata or {}))
+        with self._lock:
+            self._records[logical] = record
+            self._persist(record)
+        return record
+
+    def add_physical(self, logical: str, physical: str) -> None:
+        with self._lock:
+            record = self._require(logical)
+            if physical not in record.physical:
+                record.physical.append(physical)
+                self._persist(record)
+
+    def remove_physical(self, logical: str, physical: str) -> None:
+        with self._lock:
+            record = self._require(logical)
+            if physical in record.physical:
+                if len(record.physical) == 1:
+                    raise RegistryError(
+                        f"cannot remove last physical address of {logical!r}"
+                    )
+                record.physical.remove(physical)
+                self._persist(record)
+
+    def unregister(self, logical: str) -> bool:
+        with self._lock:
+            existed = self._records.pop(logical, None) is not None
+            if existed and self._db is not None:
+                self._db.remove(logical)
+            return existed
+
+    def set_enabled(self, logical: str, enabled: bool) -> None:
+        with self._lock:
+            self._require(logical).enabled = enabled
+
+    def _persist(self, record: ServiceRecord) -> None:
+        if self._db is None:
+            return
+        attrs = dict(record.metadata)
+        if len(record.physical) > 1:
+            attrs["_alt"] = ",".join(record.physical[1:])
+        self._db.put(record.logical, record.physical[0], attrs)
+
+    # -- lookup ---------------------------------------------------------------
+    def _require(self, logical: str) -> ServiceRecord:
+        record = self._records.get(logical)
+        if record is None:
+            raise UnknownServiceError(logical)
+        return record
+
+    def lookup(self, logical: str) -> ServiceRecord:
+        """Full record for a logical address (raises UnknownServiceError)."""
+        with self._lock:
+            self._lookups += 1
+            record = self._records.get(logical)
+            if record is None or not record.enabled:
+                self._misses += 1
+                raise UnknownServiceError(logical)
+            return record
+
+    def resolve(self, logical: str) -> str:
+        """One physical address for a logical name, via the selector policy."""
+        record = self.lookup(logical)
+        with self._lock:
+            return self._selector(record)
+
+    def list_services(self) -> list[ServiceRecord]:
+        with self._lock:
+            return sorted(self._records.values(), key=lambda r: r.logical)
+
+    def __contains__(self, logical: str) -> bool:
+        with self._lock:
+            return logical in self._records
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    @property
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {"lookups": self._lookups, "misses": self._misses}
+
+    # -- liveness (future work: "checking if service is alive") -----------
+    def check_alive(
+        self, logical: str, probe: Callable[[str], bool], now: float | None = None
+    ) -> bool:
+        """Probe the selected physical address; record and return liveness."""
+        record = self.lookup(logical)
+        address = record.physical[0]
+        alive = False
+        try:
+            alive = probe(address)
+        except Exception:
+            alive = False
+        with self._lock:
+            record.last_health = (now if now is not None else time.time(), alive)
+        return alive
+
+
+#: WSDL 1.1 namespaces used by the browsable service descriptions
+_WSDL_NS = "http://schemas.xmlsoap.org/wsdl/"
+_WSDL_SOAP_NS = "http://schemas.xmlsoap.org/wsdl/soap/"
+
+
+class RegistryService:
+    """SOAP RPC facade over a :class:`ServiceRegistry`.
+
+    Operations (namespace ``urn:repro:registry``): ``register``,
+    ``unregister``, ``lookup``, ``list``, and ``ping`` (the future-work
+    "checking if service is alive", backed by a pluggable prober).  This
+    is the management interface the paper sketches; the dispatchers call
+    the registry in-process.
+    """
+
+    def __init__(
+        self,
+        registry: ServiceRegistry,
+        prober: Callable[[str], bool] | None = None,
+    ) -> None:
+        self.registry = registry
+        self.prober = prober
+
+    def handle(self, envelope: Envelope, ctx) -> Envelope:
+        call = parse_rpc_request(envelope)
+        if call.interface_ns != REGISTRY_NS:
+            raise RegistryError(
+                f"unexpected interface {call.interface_ns!r} for registry"
+            )
+        op = call.operation
+        if op == "register":
+            logical = call.require_param("logical")
+            physical = [v for k, v in call.params if k == "physical"]
+            if not physical:
+                raise RegistryError("register needs >=1 physical param")
+            meta = {
+                k[len("meta_"):]: v
+                for k, v in call.params
+                if k.startswith("meta_")
+            }
+            self.registry.register(logical, physical, metadata=meta)
+            results = [("status", "ok")]
+        elif op == "unregister":
+            existed = self.registry.unregister(call.require_param("logical"))
+            results = [("status", "ok" if existed else "absent")]
+        elif op == "lookup":
+            record = self.registry.lookup(call.require_param("logical"))
+            results = [("physical", addr) for addr in record.physical]
+        elif op == "list":
+            results = [("logical", r.logical) for r in self.registry.list_services()]
+        elif op == "ping":
+            if self.prober is None:
+                raise RegistryError("registry has no liveness prober configured")
+            alive = self.registry.check_alive(
+                call.require_param("logical"), self.prober
+            )
+            results = [("alive", "true" if alive else "false")]
+        else:
+            raise RegistryError(f"unknown registry operation {op!r}")
+        return build_rpc_response(
+            RpcResponse(REGISTRY_NS, op, results), version=envelope.version
+        )
+
+    # -- browsable Yellow Pages (GET page) -------------------------------
+    def render_listing(self) -> str:
+        """Plain-HTML service directory ("browseable list ... with metadata")."""
+        rows = []
+        for record in self.registry.list_services():
+            meta = ", ".join(f"{k}={v}" for k, v in sorted(record.metadata.items()))
+            health = ""
+            if record.last_health is not None:
+                _, alive = record.last_health
+                health = " [alive]" if alive else " [down]"
+            status = "" if record.enabled else " (disabled)"
+            rows.append(
+                f"<li><b>{record.logical}</b>{status}{health} → "
+                f"{', '.join(record.physical)}"
+                + (f" <i>{meta}</i>" if meta else "")
+                + "</li>"
+            )
+        body = "\n".join(rows) if rows else "<li>(no services registered)</li>"
+        return (
+            "<html><head><title>WS-Dispatcher Registry</title></head>"
+            f"<body><h1>Registered services</h1><ul>\n{body}\n</ul></body></html>"
+        )
+
+    def render_wsdl(self, logical: str) -> bytes:
+        """A minimal WSDL 1.1 description of a registered service.
+
+        The paper's future work: "improve Registry service to allow
+        interactive browsing of WSDL files describing services provided by
+        WS-Dispatcher".  The document advertises the service's *logical*
+        endpoint at the dispatcher (location transparency) and records the
+        physical bindings and metadata as documentation.
+        """
+        from repro.xmlmini import Element, QName, write_document
+
+        record = self.registry.lookup(logical)
+        definitions = Element(QName(_WSDL_NS, "definitions"))
+        definitions.set("name", logical)
+        definitions.set("targetNamespace", f"urn:wsd:{logical}")
+
+        doc = Element(QName(_WSDL_NS, "documentation"))
+        lines = [f"Service {logical!r} registered at the WS-Dispatcher."]
+        for k, v in sorted(record.metadata.items()):
+            lines.append(f"{k}: {v}")
+        lines.append("physical bindings: " + ", ".join(record.physical))
+        if record.last_health is not None:
+            _, alive = record.last_health
+            lines.append(f"last liveness check: {'alive' if alive else 'down'}")
+        doc.children.append("\n".join(lines))
+        definitions.children.append(doc)
+
+        service = Element(QName(_WSDL_NS, "service"))
+        service.set("name", logical)
+        port = Element(QName(_WSDL_NS, "port"))
+        port.set("name", f"{logical}Port")
+        port.set("binding", f"tns:{logical}Binding")
+        address = Element(QName(_WSDL_SOAP_NS, "address"))
+        address.set("location", f"urn:wsd:{logical}")
+        port.children.append(address)
+        service.children.append(port)
+        definitions.children.append(service)
+        return write_document(definitions)
+
+    def page_handler(self, request):
+        """GET handler: ``/...`` → HTML listing, ``/.../wsdl/<name>`` → WSDL."""
+        from repro.http import Headers, HttpResponse
+
+        path = request.target.split("?", 1)[0]
+        if "/wsdl/" in path:
+            logical = path.rsplit("/wsdl/", 1)[1]
+            try:
+                body = self.render_wsdl(logical)
+            except UnknownServiceError:
+                return HttpResponse(status=404, body=b"unknown service")
+            headers = Headers()
+            headers.set("Content-Type", "text/xml; charset=utf-8")
+            return HttpResponse(status=200, headers=headers, body=body)
+        headers = Headers()
+        headers.set("Content-Type", "text/html; charset=utf-8")
+        return HttpResponse(
+            status=200, headers=headers, body=self.render_listing().encode()
+        )

@@ -1,0 +1,64 @@
+"""Pure routing decisions shared by all dispatcher hostings.
+
+Logical addressing conventions (the paper leaves the URI scheme open; we
+fix one so every runtime agrees):
+
+- RPC mode: clients POST to ``http://<dispatcher>/rpc/<logical>`` and the
+  dispatcher forwards the body to the physical URL.
+- MSG mode: clients address messages with ``wsa:To`` set to the *logical
+  URI* ``urn:wsd:<logical>`` (or to the dispatcher's HTTP endpoint for
+  that logical, ``http://<dispatcher>/msg/<logical>``).  The dispatcher
+  resolves either form.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RoutingError
+
+LOGICAL_SCHEME = "urn:wsd:"
+
+
+def logical_uri(logical: str) -> str:
+    """The transport-independent logical URI for a service name."""
+    if not logical:
+        raise RoutingError("logical name must be non-empty")
+    return f"{LOGICAL_SCHEME}{logical}"
+
+
+def extract_logical(address: str, mount_prefix: str | None = None) -> str:
+    """Extract a logical service name from an addressing URI or URL path.
+
+    Accepts:
+
+    - ``urn:wsd:<name>``
+    - ``/prefix/<name>[/more]`` (a path; ``mount_prefix`` e.g. ``/rpc``)
+    - ``http://host:port/prefix/<name>`` (a full dispatcher URL)
+
+    Raises :class:`~repro.errors.RoutingError` when no name is present.
+    """
+    if address.startswith(LOGICAL_SCHEME):
+        name = address[len(LOGICAL_SCHEME):]
+        if not name:
+            raise RoutingError(f"empty logical name in {address!r}")
+        return name
+
+    path = address
+    if address.startswith("http://") or address.startswith("https://"):
+        rest = address.split("://", 1)[1]
+        slash = rest.find("/")
+        path = rest[slash:] if slash >= 0 else "/"
+
+    if not path.startswith("/"):
+        raise RoutingError(f"cannot extract logical name from {address!r}")
+    path = path.split("?", 1)[0]
+    segments = [s for s in path.split("/") if s]
+    if mount_prefix is not None:
+        want = [s for s in mount_prefix.split("/") if s]
+        if segments[: len(want)] != want:
+            raise RoutingError(
+                f"path {path!r} is not under mount prefix {mount_prefix!r}"
+            )
+        segments = segments[len(want):]
+    if not segments:
+        raise RoutingError(f"no logical name in {address!r}")
+    return segments[0]

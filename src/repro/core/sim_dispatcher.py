@@ -1,0 +1,505 @@
+"""Simulated hostings of the RPC- and MSG-Dispatchers.
+
+Same routing/rewrite logic as the threaded versions (shared pure modules
+:mod:`repro.core.routing` and :mod:`repro.wsa.rules`); the execution
+substrate is the event kernel instead of thread pools: CxThreads become
+``cx_workers`` routing processes, WsThreads become per-destination
+delivery processes bounded by a ``ws_workers`` resource, the FIFO queue is
+a :class:`~repro.simnet.resources.Store`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    ReproError,
+    RoutingError,
+    SoapError,
+    TransportError,
+    UnknownServiceError,
+    XmlError,
+)
+from repro.http import Headers, HttpRequest, HttpResponse
+from repro.rt.service import soap_fault_response
+from repro.simnet.httpsim import SimHttpClientPool
+from repro.simnet.kernel import Simulator
+from repro.simnet.resources import Resource, Store
+from repro.simnet.topology import Host, Network
+from repro.soap import Envelope, Fault
+from repro.soap.constants import SOAP11_CONTENT_TYPE
+from repro.transport.base import parse_http_url
+from repro.util.stats import Counter
+from repro.wsa import AddressingHeaders, EndpointReference, rewrite_for_forwarding
+from repro.core.registry import ServiceRegistry
+from repro.core.routing import extract_logical
+
+
+#: reply-address scheme used by the sync-over-async bridge
+_SYNC_SCHEME = "urn:wsd:sync:"
+
+
+def _soap_post(path: str, body: bytes) -> HttpRequest:
+    headers = Headers()
+    headers.set("Content-Type", SOAP11_CONTENT_TYPE)
+    return HttpRequest("POST", path, headers=headers, body=body)
+
+
+class SimRpcDispatcher:
+    """RPC forwarding proxy as a simulated HTTP handler.
+
+    The handler is a generator: the worker slot serving the client
+    connection stays occupied for the whole forwarded exchange — the
+    blocking behaviour that gives RPC forwarding its Table 1 limits.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        host: Host,
+        registry: ServiceRegistry,
+        mount_prefix: str = "/rpc",
+        connect_timeout: float = 21.0,
+        response_timeout: float = 30.0,
+        balancer: object | None = None,
+    ) -> None:
+        """``balancer`` (a :class:`~repro.core.loadbalance.BalancerPolicy`)
+        receives on_start/on_finish load feedback per forwarded call so
+        least-pending selection can see in-flight work."""
+        self.net = net
+        self.registry = registry
+        self.mount_prefix = mount_prefix
+        self.balancer = balancer
+        self.pool = SimHttpClientPool(
+            net,
+            host,
+            connect_timeout=connect_timeout,
+            response_timeout=response_timeout,
+        )
+        self.counters = Counter()
+
+    def handler(self, request: HttpRequest):
+        """Generator handler for :class:`~repro.simnet.httpsim.SimHttpServer`."""
+        if request.method != "POST":
+            return HttpResponse(status=405, body=b"RPC dispatcher accepts POST")
+        try:
+            logical = extract_logical(request.target, self.mount_prefix)
+            envelope = Envelope.from_bytes(request.body)
+        except (RoutingError, XmlError, SoapError) as exc:
+            self.counters.inc("rejected")
+            return soap_fault_response(Fault("Client", str(exc)), status=400)
+        try:
+            physical = self.registry.resolve(logical)
+        except UnknownServiceError as exc:
+            self.counters.inc("rejected")
+            return soap_fault_response(Fault("Client", str(exc)), status=404)
+        endpoint, path = parse_http_url(physical)
+        forward = _soap_post(path, envelope.to_bytes())
+        if self.balancer is not None:
+            self.balancer.on_start(physical)
+        try:
+            response = yield from self.pool.exchange(
+                endpoint.host, endpoint.port, forward
+            )
+        except (TransportError, ReproError) as exc:
+            self.counters.inc("failed")
+            return soap_fault_response(
+                Fault("Server", f"cannot reach {logical}: {exc}"), status=502
+            )
+        finally:
+            if self.balancer is not None:
+                self.balancer.on_finish(physical)
+        self.counters.inc("forwarded")
+        out = Headers()
+        ct = response.headers.get("Content-Type")
+        if ct:
+            out.set("Content-Type", ct)
+        return HttpResponse(status=response.status, headers=out, body=response.body)
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return self.counters.as_dict()
+
+
+@dataclass
+class SimMsgDispatcherConfig:
+    """Knobs of the simulated MSG-Dispatcher (mirrors the threaded config)."""
+
+    cx_workers: int = 4
+    ws_workers: int = 8
+    accept_queue: int = 1024
+    destination_queue: int = 1024
+    batch_size: int = 8
+    #: concurrent WsThreads (connections) a single busy destination may use
+    parallel_per_destination: int = 1
+    destination_idle_ttl: float = 10.0
+    correlation_ttl: float = 120.0
+    connect_timeout: float = 21.0
+    response_timeout: float = 30.0
+    #: False = paper-faithful (no admission control: a full accept queue
+    #: blocks the HTTP worker); True = answer 503 when saturated
+    shed_on_full: bool = False
+    #: ReplyTo prefixes left unrewritten (the dispatcher's own co-located
+    #: WS-MsgBox — services reply to it directly, paper section 4.3.2)
+    passthrough_reply_prefixes: tuple = ()
+
+
+@dataclass
+class _SimCorrelation:
+    reply_to: EndpointReference | None
+    fault_to: EndpointReference | None
+    expires_at: float
+
+
+class SimMsgDispatcher:
+    """MSG-Dispatcher as a family of simulation processes."""
+
+    def __init__(
+        self,
+        net: Network,
+        host: Host,
+        registry: ServiceRegistry,
+        own_address: str,
+        mount_prefix: str = "/msg",
+        config: SimMsgDispatcherConfig | None = None,
+    ) -> None:
+        self.net = net
+        self.sim: Simulator = net.sim
+        self.host = host
+        self.registry = registry
+        self.own_address = own_address
+        self.mount_prefix = mount_prefix
+        self.config = config or SimMsgDispatcherConfig()
+        self.pool = SimHttpClientPool(
+            net,
+            host,
+            connect_timeout=self.config.connect_timeout,
+            response_timeout=self.config.response_timeout,
+            pool_per_destination=max(2, self.config.parallel_per_destination),
+        )
+        self.counters = Counter()
+        self._accept: Store = Store(self.sim, capacity=self.config.accept_queue)
+        self._correlations: dict[str, _SimCorrelation] = {}
+        self._waiters: dict[str, object] = {}  # sync-bridge events by URI
+        self._destinations: dict[str, Store] = {}
+        self._dest_workers: dict[str, int] = {}
+        self._ws_slots = Resource(self.sim, capacity=self.config.ws_workers)
+        self._running = True
+        for i in range(self.config.cx_workers):
+            self.sim.process(self._cx_loop(), name=f"sim-cx-{i}")
+
+    def stop(self) -> None:
+        self._running = False
+
+    # -- HTTP handler (accepts one-way messages, answers 202) --------------
+    def handler(self, request: HttpRequest):
+        """Generator handler.
+
+        When the accept queue is full the behaviour depends on
+        ``config.shed_on_full``: the paper's stack had no admission
+        control, so the default is to *block* the HTTP worker until a
+        CxThread frees a slot — saturation then propagates to the TCP
+        front door and clients slow down or time out.  With shedding on,
+        the dispatcher answers 503 instead (the load-shedding redesign).
+        """
+        if request.method != "POST":
+            return HttpResponse(status=405, body=b"MSG dispatcher accepts POST")
+        try:
+            envelope = Envelope.from_bytes(request.body)
+        except (XmlError, SoapError) as exc:
+            self.counters.inc("rejected")
+            return soap_fault_response(Fault("Client", str(exc)), status=400)
+        if self.config.shed_on_full:
+            if not self._accept.try_put((envelope, request.target)):
+                self.counters.inc("dropped_accept_queue_full")
+                return HttpResponse(status=503, body=b"dispatcher overloaded")
+        else:
+            yield self._accept.put((envelope, request.target))
+        self.counters.inc("accepted")
+        return HttpResponse(status=202)
+
+    # -- CxThread processes ---------------------------------------------------
+    def _cx_loop(self):
+        while self._running:
+            envelope, path = yield self._accept.get()
+            try:
+                outbound = self._route_one(envelope, path)
+            except ReproError:
+                self.counters.inc("dropped_unroutable")
+                continue
+            for body, target_url, message_id in outbound:
+                try:
+                    endpoint, path = parse_http_url(target_url)
+                except ReproError:
+                    self.counters.inc("dropped_unroutable")
+                    continue
+                # WsThreads are bound to *endpoints* (host:port) — every
+                # mailbox on one WS-MsgBox service shares one connection
+                # queue, exactly like one WsThread per Web Service.
+                dest_key = f"{endpoint.host}:{endpoint.port}"
+                store = self._dest_store(dest_key)
+                # Blocking put: when a destination backs up, CxThreads
+                # stall, the accept queue fills, and the HTTP front door
+                # starts shedding load — the backpressure chain a
+                # bounded-queue thread architecture produces.
+                yield store.put((path, body, message_id))
+                self._ensure_worker(dest_key, store)
+
+    def _route_one(
+        self, envelope: Envelope, path: str
+    ) -> list[tuple[bytes, str, str | None]]:
+        """Pure routing decision: returns (bytes, target_url, message_id)."""
+        headers = AddressingHeaders.from_envelope(envelope)
+        now = self.sim.now
+
+        for rel in headers.relates_to:
+            corr = self._correlations.pop(rel, None)
+            if corr is not None:
+                if corr.expires_at < now:
+                    self.counters.inc("expired_correlations")
+                    return []
+                return self._route_response(envelope, headers, corr)
+
+        to_addr = headers.to or path
+        try:
+            logical = extract_logical(to_addr, self.mount_prefix)
+        except RoutingError:
+            logical = extract_logical(path.split("?", 1)[0], self.mount_prefix)
+        try:
+            physical = self.registry.resolve(logical)
+        except UnknownServiceError:
+            self.counters.inc("unknown_service")
+            raise
+        result = rewrite_for_forwarding(
+            envelope, physical, self.own_address,
+            passthrough_reply_prefixes=self.config.passthrough_reply_prefixes,
+        )
+        if result.original_reply_to or result.original_fault_to:
+            self._correlations[result.message_id] = _SimCorrelation(
+                result.original_reply_to,
+                result.original_fault_to,
+                now + self.config.correlation_ttl,
+            )
+        self.counters.inc("routed_requests")
+        return [(result.envelope.to_bytes(), physical, result.message_id)]
+
+    def _route_response(
+        self,
+        envelope: Envelope,
+        headers: AddressingHeaders,
+        corr: _SimCorrelation,
+    ) -> list[tuple[bytes, str, str | None]]:
+        target = (
+            corr.fault_to if envelope.is_fault() and corr.fault_to else corr.reply_to
+        )
+        if target is not None and target.address.startswith(_SYNC_SCHEME):
+            waiter = self._waiters.pop(target.address, None)
+            if waiter is not None and not waiter.triggered:
+                waiter.succeed(envelope)
+                self.counters.inc("bridged_responses")
+            return []
+        if target is None or target.is_anonymous:
+            self.counters.inc("dropped_no_reply_to")
+            return []
+        out = envelope.copy()
+        new_headers = headers.copy()
+        new_headers.to = target.address
+        new_headers.reference_headers.extend(
+            p.copy() for p in target.reference_properties
+        )
+        new_headers.attach(out)
+        self.counters.inc("routed_responses")
+        return [(out.to_bytes(), target.address, None)]
+
+    # -- WsThread processes -------------------------------------------------
+    def _dest_store(self, target_url: str) -> Store:
+        store = self._destinations.get(target_url)
+        if store is None:
+            store = Store(self.sim, capacity=self.config.destination_queue)
+            self._destinations[target_url] = store
+        return store
+
+    def _ensure_worker(self, target_url: str, store: Store) -> None:
+        """Spawn delivery workers for a destination, up to the parallel cap
+        and justified by its queue depth."""
+        active = self._dest_workers.get(target_url, 0)
+        if active >= self.config.parallel_per_destination:
+            return
+        if active > 0 and len(store) <= active:
+            return  # existing workers can absorb the backlog
+        self._dest_workers[target_url] = active + 1
+        self.sim.process(
+            self._ws_loop(target_url, store), name=f"sim-ws-{target_url}"
+        )
+
+    def _enqueue(
+        self,
+        envelope_bytes: bytes,
+        target_url: str,
+        message_id: str | None = None,
+    ) -> None:
+        """Non-blocking enqueue (used off the CxThread path)."""
+        try:
+            endpoint, path = parse_http_url(target_url)
+        except ReproError:
+            self.counters.inc("dropped_unroutable")
+            return
+        dest_key = f"{endpoint.host}:{endpoint.port}"
+        store = self._dest_store(dest_key)
+        if not store.try_put((path, envelope_bytes, message_id)):
+            self.counters.inc("dropped_destination_queue_full")
+            return
+        self._ensure_worker(dest_key, store)
+
+    def _ws_loop(self, dest_key: str, store: Store):
+        """One delivery worker.
+
+        A WsThread slot is held for **one batch at a time** and then
+        released — the pool rotates FIFO-fairly across busy destinations.
+        A destination whose deliveries hang (firewalled client endpoints)
+        therefore stalls every slot it wins for a whole batch of connect
+        timeouts, starving the healthy destinations: the mechanism behind
+        "the MSG-Dispatcher tried to send a response that was blocked by
+        firewall leading to the slowest performance".
+        """
+        host, _, port_text = dest_key.rpartition(":")
+        port = int(port_text)
+        try:
+            while self._running:
+                get = store.get()
+                idx, first = yield self.sim.any_of(
+                    [get, self.sim.timeout(self.config.destination_idle_ttl)]
+                )
+                if idx == 1:
+                    get.cancel()
+                    return  # idle: exit (respawned on next enqueue)
+                batch = [first]
+                while len(store) and len(batch) < self.config.batch_size:
+                    batch.append(store.items.popleft())
+                slot = self._ws_slots.request()
+                yield slot
+                try:
+                    for path, body, message_id in batch:
+                        yield from self._deliver(host, port, path, body, message_id)
+                finally:
+                    slot.release()
+        finally:
+            remaining = self._dest_workers.get(dest_key, 1) - 1
+            self._dest_workers[dest_key] = max(0, remaining)
+            if len(store):
+                # messages arrived while we were exiting: restart a worker
+                self._ensure_worker(dest_key, store)
+
+    def _deliver(
+        self,
+        host: str,
+        port: int,
+        path: str,
+        body: bytes,
+        message_id: str | None = None,
+    ):
+        try:
+            response = yield from self.pool.exchange(
+                host, port, _soap_post(path, body)
+            )
+            if response.status >= 400:
+                raise TransportError(f"HTTP {response.status}")
+        except (TransportError, ReproError):
+            self.counters.inc("delivery_failures")
+            return
+        self.counters.inc("delivered")
+        self._absorb_inband_response(response, message_id)
+
+    def _absorb_inband_response(self, response: HttpResponse, message_id: str | None) -> None:
+        """Quadrant 3 of Table 1: translate an in-band RPC reply into a
+        one-way response message and re-inject it into the pipeline."""
+        if response.status != 200 or not response.body or message_id is None:
+            return
+        try:
+            envelope = Envelope.from_bytes(response.body)
+            headers = AddressingHeaders.from_envelope(envelope)
+        except ReproError:
+            self.counters.inc("inband_unparseable")
+            return
+        if message_id not in headers.relates_to:
+            headers.relates_to.append(message_id)
+        if not headers.to:
+            headers.to = self.own_address
+        headers.attach(envelope)
+        if self._accept.try_put((envelope, self.mount_prefix)):
+            self.counters.inc("inband_responses")
+
+    # -- sync-over-async bridge (Table 1 quadrant 2) ------------------------
+    def bridge_handler(
+        self,
+        request: HttpRequest,
+        bridge_timeout: float = 30.0,
+        mount_prefix: str = "/bridge",
+    ):
+        """Generator handler: RPC client in, messaging service behind.
+
+        Forwards the message through the normal pipeline but holds the
+        client's HTTP connection open until the asynchronous response
+        comes back (or the bridge timeout fires — "may not work at all if
+        message reply comes too late").  Plain RPC envelopes without any
+        WS-Addressing are accepted: the bridge synthesises a MessageID and
+        derives ``wsa:To`` from the request path.
+        """
+        if request.method != "POST":
+            return HttpResponse(status=405)
+        try:
+            envelope = Envelope.from_bytes(request.body)
+            headers = AddressingHeaders.from_envelope(envelope)
+        except (XmlError, SoapError) as exc:
+            return soap_fault_response(Fault("Client", str(exc)), status=400)
+        if not headers.to:
+            from repro.core.routing import logical_uri
+
+            try:
+                headers.to = logical_uri(
+                    extract_logical(request.target, mount_prefix)
+                )
+            except RoutingError as exc:
+                return soap_fault_response(Fault("Client", str(exc)), status=404)
+        message_id = headers.message_id or f"uuid:bridge-{id(request)}-{self.sim.now}"
+        sentinel = f"{_SYNC_SCHEME}{message_id}"
+        headers.message_id = message_id
+        headers.reply_to = EndpointReference(sentinel)
+        headers.attach(envelope)
+
+        waiter = self.sim.event()
+        self._waiters[sentinel] = waiter
+        try:
+            outbound = self._route_one(envelope, request.target)
+        except ReproError as exc:
+            self._waiters.pop(sentinel, None)
+            self.counters.inc("dropped_unroutable")
+            return soap_fault_response(Fault("Client", str(exc)), status=404)
+        for body, target_url, out_mid in outbound:
+            self._enqueue(body, target_url, message_id=out_mid)
+        self.counters.inc("accepted")
+        idx, value = yield self.sim.any_of(
+            [waiter, self.sim.timeout(bridge_timeout)]
+        )
+        if idx == 1:
+            self._waiters.pop(sentinel, None)
+            self.counters.inc("bridge_timeouts")
+            return soap_fault_response(
+                Fault("Server", "no response before bridge timeout"), status=504
+            )
+        reply: Envelope = value
+        body = reply.to_bytes()
+        out = Headers()
+        out.set("Content-Type", reply.version.content_type)
+        return HttpResponse(status=200, headers=out, body=body)
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def stats(self) -> dict[str, int]:
+        return self.counters.as_dict()
+
+    def pending_correlations(self) -> int:
+        return len(self._correlations)
+
+    def backlog(self) -> int:
+        return len(self._accept) + sum(len(s) for s in self._destinations.values())

@@ -1,0 +1,133 @@
+"""Single sign-on gate (paper future work §4.4).
+
+"We are also planning to investigate how WSD can provide authentication
+and authorization (single sign-on) for web services that do not need to
+implement security [and] instead rely on WSD to do checks."
+
+Design: a :class:`TokenIssuer` authenticates principals (username/secret
+table) and mints signed, expiring tokens (HMAC-SHA256 over
+``principal|expiry``).  The :class:`SsoGate` is an inspector hook for
+either dispatcher: it extracts the token from a SOAP header
+(``<sso:Token>`` in namespace ``urn:repro:sso``) and enforces per-service
+access-control lists.  Services behind the dispatcher stay completely
+security-unaware.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import threading
+
+from repro.errors import AuthError
+from repro.soap import Envelope
+from repro.util.clock import Clock, MonotonicClock
+from repro.xmlmini import QName
+
+SSO_NS = "urn:repro:sso"
+_Q_TOKEN = QName(SSO_NS, "Token")
+
+
+class TokenIssuer:
+    """Authenticates principals and mints/verifies signed tokens."""
+
+    def __init__(
+        self,
+        secret: bytes,
+        token_ttl: float = 3600.0,
+        clock: Clock | None = None,
+    ) -> None:
+        if not secret:
+            raise ValueError("issuer secret must be non-empty")
+        self._secret = secret
+        self.token_ttl = token_ttl
+        self.clock = clock or MonotonicClock()
+        self._credentials: dict[str, str] = {}
+        self._lock = threading.Lock()
+
+    def add_principal(self, name: str, password: str) -> None:
+        with self._lock:
+            self._credentials[name] = password
+
+    def login(self, name: str, password: str) -> str:
+        """Authenticate and mint a token; raises AuthError on bad login."""
+        with self._lock:
+            expected = self._credentials.get(name)
+        if expected is None or not hmac.compare_digest(expected, password):
+            raise AuthError(f"bad credentials for {name!r}")
+        expiry = self.clock.now() + self.token_ttl
+        return self._mint(name, expiry)
+
+    def _mint(self, principal: str, expiry: float) -> str:
+        payload = f"{principal}|{expiry:.3f}"
+        sig = hmac.new(self._secret, payload.encode(), hashlib.sha256).hexdigest()
+        return f"{payload}|{sig}"
+
+    def verify(self, token: str) -> str:
+        """Return the principal for a valid token; raise AuthError otherwise."""
+        parts = token.split("|")
+        if len(parts) != 3:
+            raise AuthError("malformed token")
+        principal, expiry_text, sig = parts
+        payload = f"{principal}|{expiry_text}"
+        expected = hmac.new(self._secret, payload.encode(), hashlib.sha256).hexdigest()
+        if not hmac.compare_digest(expected, sig):
+            raise AuthError("token signature invalid")
+        try:
+            expiry = float(expiry_text)
+        except ValueError:
+            raise AuthError("malformed token expiry") from None
+        if self.clock.now() > expiry:
+            raise AuthError("token expired")
+        return principal
+
+
+class SsoGate:
+    """Dispatcher inspector enforcing authn + per-service authz.
+
+    Usage: ``RpcDispatcher(..., inspector=gate)`` (the gate is callable) or
+    call :meth:`check` from custom pipelines.  ACLs map logical service
+    name → allowed principals; a service with no ACL entry is open.
+    """
+
+    def __init__(self, issuer: TokenIssuer) -> None:
+        self.issuer = issuer
+        self._acl: dict[str, set[str]] = {}
+        self._lock = threading.Lock()
+
+    def restrict(self, logical: str, principals: list[str]) -> None:
+        with self._lock:
+            self._acl[logical] = set(principals)
+
+    def __call__(self, envelope: Envelope, logical: str) -> None:
+        self.check(envelope, logical)
+
+    def check(self, envelope: Envelope, logical: str) -> str | None:
+        """Validate the envelope's token against the service's ACL.
+
+        Returns the principal (None for open services with no token).
+        Raises :class:`~repro.errors.AuthError` on any violation.
+        """
+        with self._lock:
+            allowed = self._acl.get(logical)
+        token_el = None
+        for h in envelope.headers:
+            if h.name == _Q_TOKEN:
+                token_el = h
+                break
+        if allowed is None and token_el is None:
+            return None  # open service, anonymous caller
+        if token_el is None:
+            raise AuthError(f"service {logical!r} requires an SSO token")
+        principal = self.issuer.verify(token_el.text.strip())
+        if allowed is not None and principal not in allowed:
+            raise AuthError(f"{principal!r} is not authorized for {logical!r}")
+        return principal
+
+
+def attach_token(envelope: Envelope, token: str) -> Envelope:
+    """Add an ``<sso:Token>`` header to an envelope (client side)."""
+    from repro.xmlmini import Element
+
+    envelope.headers.append(Element(_Q_TOKEN, text=token))
+    return envelope

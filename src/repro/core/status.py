@@ -1,0 +1,67 @@
+"""Operational status page for a dispatcher deployment.
+
+The paper positions the WSD as production infrastructure ("integrated in
+existing infrastructure", Enterprise-Service-Bus-adjacent); production
+infrastructure needs an ops view.  :class:`StatusPage` renders the live
+counters of every registered component as a plain-text (or HTML) page
+mounted next to the registry listing.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro.http import Headers, HttpRequest, HttpResponse
+
+
+class StatusPage:
+    """Aggregates named stat sources into one GET endpoint.
+
+    A source is anything with a ``stats`` dict property (both dispatchers,
+    WS-MsgBox) or a callable returning a dict.
+    """
+
+    def __init__(self, title: str = "WS-Dispatcher status") -> None:
+        self.title = title
+        self._sources: list[tuple[str, Callable[[], dict]]] = []
+        self._lock = threading.Lock()
+
+    def add(self, name: str, source: object) -> None:
+        """Register a component; ``source`` has ``.stats`` or is callable."""
+        if callable(source):
+            fetch = source
+        elif hasattr(source, "stats"):
+            fetch = lambda s=source: dict(s.stats)
+        else:
+            raise TypeError(f"{name}: source needs .stats or to be callable")
+        with self._lock:
+            self._sources.append((name, fetch))
+
+    def snapshot(self) -> dict[str, dict]:
+        """Point-in-time counters of every component."""
+        out: dict[str, dict] = {}
+        with self._lock:
+            sources = list(self._sources)
+        for name, fetch in sources:
+            try:
+                out[name] = dict(fetch())
+            except Exception as exc:  # noqa: BLE001 - a broken source is data
+                out[name] = {"error": repr(exc)}
+        return out
+
+    def render_text(self) -> str:
+        lines = [f"# {self.title}"]
+        for component, stats in self.snapshot().items():
+            lines.append(f"[{component}]")
+            for key in sorted(stats):
+                lines.append(f"  {key} = {stats[key]}")
+        return "\n".join(lines) + "\n"
+
+    def page_handler(self, request: HttpRequest) -> HttpResponse:
+        """GET handler for :meth:`SoapHttpApp.mount_page`."""
+        headers = Headers()
+        headers.set("Content-Type", "text/plain; charset=utf-8")
+        return HttpResponse(
+            status=200, headers=headers, body=self.render_text().encode()
+        )

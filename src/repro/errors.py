@@ -1,0 +1,146 @@
+"""Shared exception hierarchy for the repro package.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can catch library failures without catching unrelated bugs.  The
+hierarchy mirrors the subsystem layout: XML/SOAP/addressing parse errors,
+HTTP wire errors, transport errors, simulation errors, and the
+dispatcher-level routing/registry errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+# ---------------------------------------------------------------------------
+# Message-format layer
+# ---------------------------------------------------------------------------
+
+class XmlError(ReproError):
+    """Malformed XML or an illegal operation on an XML tree."""
+
+
+class XmlParseError(XmlError):
+    """Raised by the XML parser; carries the byte/char offset of the fault."""
+
+    def __init__(self, message: str, pos: int = -1, line: int = -1) -> None:
+        suffix = ""
+        if line >= 0:
+            suffix = f" (line {line})"
+        elif pos >= 0:
+            suffix = f" (offset {pos})"
+        super().__init__(message + suffix)
+        self.pos = pos
+        self.line = line
+
+
+class SoapError(ReproError):
+    """A SOAP envelope could not be built or understood."""
+
+
+class SoapFaultError(SoapError):
+    """A SOAP Fault was received; carries the parsed fault."""
+
+    def __init__(self, code: str, reason: str, detail: str | None = None) -> None:
+        super().__init__(f"SOAP fault {code}: {reason}")
+        self.code = code
+        self.reason = reason
+        self.detail = detail
+
+
+class AddressingError(SoapError):
+    """WS-Addressing headers are missing, duplicated, or invalid."""
+
+
+# ---------------------------------------------------------------------------
+# Wire / transport layer
+# ---------------------------------------------------------------------------
+
+class HttpError(ReproError):
+    """HTTP message violates the wire protocol."""
+
+
+class HttpParseError(HttpError):
+    """Bytes on the wire do not form a valid HTTP message."""
+
+
+class TransportError(ReproError):
+    """A byte-stream transport failed (reset, refused, closed)."""
+
+
+class ConnectionRefused(TransportError):
+    """No listener at the destination, or the firewall rejected the SYN."""
+
+
+class ConnectionTimeout(TransportError):
+    """Connect or read deadline expired."""
+
+
+class ConnectionClosed(TransportError):
+    """Peer closed the stream mid-message."""
+
+
+class ConnectionLimitExceeded(TransportError):
+    """The host's connection table (or listen backlog) is full."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation layer
+# ---------------------------------------------------------------------------
+
+class SimulationError(ReproError):
+    """Internal inconsistency in the discrete-event kernel."""
+
+
+class SimInterrupt(ReproError):
+    """A simulated process was interrupted; carries the interrupt cause."""
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(f"process interrupted: {cause!r}")
+        self.cause = cause
+
+
+# ---------------------------------------------------------------------------
+# Dispatcher / service layer
+# ---------------------------------------------------------------------------
+
+class RegistryError(ReproError):
+    """Registry lookup or mutation failed."""
+
+
+class UnknownServiceError(RegistryError):
+    """Logical address has no registered physical binding."""
+
+    def __init__(self, logical: str) -> None:
+        super().__init__(f"no service registered for logical address {logical!r}")
+        self.logical = logical
+
+
+class RoutingError(ReproError):
+    """The dispatcher cannot decide where to forward a message."""
+
+
+class MailboxError(ReproError):
+    """WS-MsgBox operation failed."""
+
+
+class MailboxNotFound(MailboxError):
+    """The mailbox address does not exist (or was destroyed)."""
+
+
+class MailboxQuotaExceeded(MailboxError):
+    """The mailbox is full; deposit rejected."""
+
+
+class MailboxAuthError(MailboxError):
+    """Owner-token check failed for a protected mailbox operation."""
+
+
+class AuthError(ReproError):
+    """Single-sign-on authentication or authorization rejected the call."""
+
+
+class DeliveryExpired(ReproError):
+    """A held message exceeded its expiration before delivery succeeded."""

@@ -1,0 +1,12 @@
+"""Experiment harness: one module per paper table/figure, plus ablations.
+
+Every experiment exposes ``run(...) -> ExperimentReport`` with parameters
+defaulting to the paper's settings (scaled knobs exist so the pytest
+benchmarks can run quick versions).  Results print as the same rows /
+series the paper plots; EXPERIMENTS.md records full-scale outputs.
+"""
+
+from repro.experiments.common import ExperimentReport
+from repro.experiments import fig4, fig5, fig6, table1, ablations
+
+__all__ = ["ExperimentReport", "fig4", "fig5", "fig6", "table1", "ablations"]

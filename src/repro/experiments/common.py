@@ -1,0 +1,144 @@
+"""Shared experiment plumbing: scenario assembly and reporting.
+
+Calibration constants: the paper's stack was Java/XSUL on 2005 hardware.
+We charge explicit CPU costs per SOAP message so throughput magnitudes
+land in the paper's range — the *shape* of every curve comes from the
+modelled network/firewall/thread mechanics, not from these constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.registry import ServiceRegistry
+from repro.core.sim_dispatcher import (
+    SimMsgDispatcher,
+    SimMsgDispatcherConfig,
+    SimRpcDispatcher,
+)
+from repro.rt.service import SoapHttpApp
+from repro.simnet.httpsim import SimHttpServer
+from repro.simnet.scenarios import SiteSpec, add_site
+from repro.simnet.kernel import Simulator
+from repro.simnet.topology import Host, Network
+from repro.workload.echo import EchoService
+from repro.workload.results import RunResult, Series, render_table
+
+#: CPU seconds a speed-1.0 host spends parsing+serializing one SOAP/HTTP
+#: message in a 2005 Java stack (XSUL measured a few ms per message).
+SOAP_SERVICE_TIME = 0.004
+#: Dispatcher per-message processing (header parse, registry lookup, rewrite).
+DISPATCHER_SERVICE_TIME = 0.003
+#: Client-side cost to produce/consume one call (test client serialization).
+CLIENT_CALL_OVERHEAD = 0.004
+
+
+@dataclass
+class ExperimentReport:
+    """Uniform result object: labelled series + rendered text blocks."""
+
+    experiment: str
+    description: str
+    series: list[Series] = field(default_factory=list)
+    tables: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    #: free-form per-run extras (stats dicts, classifications)
+    extras: dict[str, object] = field(default_factory=dict)
+
+    def render(self) -> str:
+        parts = [f"== {self.experiment} ==", self.description, ""]
+        parts.extend(self.tables)
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {n}" for n in self.notes)
+        return "\n".join(parts)
+
+    def series_by_label(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(label)
+
+
+@dataclass
+class RpcScenario:
+    """A built RPC measurement scenario (fresh simulator per point)."""
+
+    sim: Simulator
+    net: Network
+    client_host: Host
+    entry_host: str
+    entry_port: int
+    entry_path: str
+    ws_server: SimHttpServer
+    dispatcher: SimRpcDispatcher | None = None
+
+
+def build_rpc_scenario(
+    client_spec: SiteSpec,
+    server_spec: SiteSpec,
+    via_dispatcher: bool,
+    ws_workers: int = 64,
+    dispatcher_workers: int = 64,
+    ws_port: int = 8080,
+    dispatcher_port: int = 8000,
+    service_time: float = SOAP_SERVICE_TIME,
+) -> RpcScenario:
+    """Client site → (optional RPC-Dispatcher →) echo WS.
+
+    The WS and dispatcher ports are opened in the server site's firewall
+    (the paper's services were reachable); the *client* site keeps its
+    outbound-only posture, which is irrelevant for RPC since replies ride
+    the same connection.
+    """
+    sim = Simulator()
+    net = Network(sim)
+    client_host = add_site(net, client_spec)
+    server_host = add_site(
+        net, server_spec, open_ports=(ws_port, dispatcher_port)
+    )
+
+    app = SoapHttpApp()
+    app.mount("/echo", EchoService())
+    ws_server = SimHttpServer(
+        net,
+        server_host,
+        ws_port,
+        lambda req: app.handle_request(req, None),
+        workers=ws_workers,
+        service_time=service_time,
+    )
+    dispatcher = None
+    if via_dispatcher:
+        registry = ServiceRegistry()
+        registry.register("echo", f"http://{server_host.name}:{ws_port}/echo")
+        dispatcher = SimRpcDispatcher(net, server_host, registry)
+        SimHttpServer(
+            net,
+            server_host,
+            dispatcher_port,
+            dispatcher.handler,
+            workers=dispatcher_workers,
+            service_time=DISPATCHER_SERVICE_TIME,
+        )
+        return RpcScenario(
+            sim, net, client_host, server_host.name, dispatcher_port,
+            "/rpc/echo", ws_server, dispatcher,
+        )
+    return RpcScenario(
+        sim, net, client_host, server_host.name, ws_port, "/echo", ws_server
+    )
+
+
+def paper_shape_summary(series: list[Series]) -> str:
+    """One-line-per-series max/min summary to eyeball curve shapes."""
+    lines = []
+    for s in series:
+        if not s.results:
+            continue
+        peak = max(s.results, key=lambda r: r.per_minute)
+        lines.append(
+            f"{s.label}: peak {peak.per_minute:.0f}/min at {peak.clients} clients, "
+            f"total lost {sum(r.not_sent for r in s.results)}"
+        )
+    return "\n".join(lines)

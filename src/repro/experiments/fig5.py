@@ -1,0 +1,104 @@
+"""Figure 5 — RPC communication under "good" conditions (high connectivity).
+
+Paper setup: clients on the IU backbone (iuHigh, 3655/2739 kbps) calling
+the echo WS on inriaFast, one minute per point, clients ∈ 10..300,
+direct vs via RPC-Dispatcher.  Reported: messages/minute.
+
+Expected shape (paper §4.3.1): "We had no lost packets at all";
+throughput climbs, then "after 200 connections message throughput does
+not improve and even gets slightly worsened dues to contention"; the
+dispatcher curve tracks the direct curve closely.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    CLIENT_CALL_OVERHEAD,
+    ExperimentReport,
+    build_rpc_scenario,
+    paper_shape_summary,
+)
+from repro.simnet.scenarios import BACKBONE_IU, INRIA
+from repro.workload.results import Series, render_table
+from repro.workload.sim_testclient import SimRampConfig, SimRampTester
+
+PAPER_CLIENT_COUNTS = [10, 25, 50, 100, 150, 200, 250, 300]
+PAPER_DURATION = 60.0
+
+
+def run(
+    client_counts: list[int] | None = None,
+    duration: float = PAPER_DURATION,
+    ws_workers: int = 48,
+) -> ExperimentReport:
+    """Reproduce Figure 5; series 'Direct WS-RPC' and 'With RPC-Dispatcher'."""
+    counts = client_counts or PAPER_CLIENT_COUNTS
+    report = ExperimentReport(
+        experiment="Figure 5",
+        description=(
+            "RPC communication, high connectivity (iuHigh -> inriaFast), "
+            "messages/minute vs clients"
+        ),
+    )
+    series_direct = Series("Direct WS-RPC")
+    series_disp = Series("With RPC-Dispatcher")
+    for via, series in ((False, series_direct), (True, series_disp)):
+        for clients in counts:
+            scenario = build_rpc_scenario(
+                BACKBONE_IU,
+                INRIA,
+                via_dispatcher=via,
+                ws_workers=ws_workers,
+            )
+            tester = SimRampTester(
+                scenario.net,
+                scenario.client_host,
+                scenario.entry_host,
+                scenario.entry_port,
+                scenario.entry_path,
+            )
+            config = SimRampConfig(
+                clients=clients,
+                duration=duration,
+                connect_timeout=10.0,
+                response_timeout=20.0,
+                think_time=CLIENT_CALL_OVERHEAD,
+            )
+            series.add(tester.run(config))
+    report.series = [series_direct, series_disp]
+    report.tables = [
+        render_table(report.series, "per_minute", title="Fig5 messages/minute"),
+        render_table(report.series, "not_sent", title="Fig5 packets lost"),
+    ]
+    report.notes.append(paper_shape_summary(report.series))
+    return report
+
+
+def check_shape(report: ExperimentReport) -> list[str]:
+    """Paper-prose checks; returns failed checks."""
+    failures: list[str] = []
+    for s in report.series:
+        lost = sum(r.not_sent for r in s.results)
+        if lost > 0:
+            failures.append(f"{s.label}: expected zero loss, saw {lost}")
+        rates = {r.clients: r.per_minute for r in s.results}
+        if len(rates) >= 3:
+            xs = sorted(rates)
+            small, mid = xs[0], xs[len(xs) // 2]
+            big = xs[-1]
+            if not rates[small] < rates[big] * 1.05:
+                failures.append(f"{s.label}: no ramp-up from {small} clients")
+            # plateau: the largest count should not beat the midpoint by much
+            if big >= 200 and rates[big] > rates[mid] * 1.5:
+                failures.append(
+                    f"{s.label}: still scaling at {big} clients "
+                    f"({rates[big]:.0f} vs {rates[mid]:.0f})"
+                )
+    d = report.series_by_label("Direct WS-RPC")
+    w = report.series_by_label("With RPC-Dispatcher")
+    for rd, rw in zip(d.results, w.results):
+        if rw.per_minute < 0.6 * rd.per_minute:
+            failures.append(
+                f"dispatcher overhead too large at {rd.clients} clients"
+            )
+    return failures

@@ -1,0 +1,28 @@
+"""HTTP/1.1 subset: message model + incremental sans-io wire codec.
+
+The same codec drives the threaded runtime (real sockets) and the network
+simulator, so both see identical framing behaviour: Content-Length and
+chunked bodies, keep-alive vs close, header size limits.
+"""
+
+from repro.http.message import HttpRequest, HttpResponse, Headers
+from repro.http.status import reason_phrase
+from repro.http.wire import (
+    MAX_HEADER_BYTES,
+    RequestParser,
+    ResponseParser,
+    serialize_request,
+    serialize_response,
+)
+
+__all__ = [
+    "HttpRequest",
+    "HttpResponse",
+    "Headers",
+    "reason_phrase",
+    "RequestParser",
+    "ResponseParser",
+    "serialize_request",
+    "serialize_response",
+    "MAX_HEADER_BYTES",
+]

@@ -1,0 +1,35 @@
+"""HTTP status reason phrases (the subset this stack emits or relays)."""
+
+from __future__ import annotations
+
+_REASONS = {
+    100: "Continue",
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    301: "Moved Permanently",
+    302: "Found",
+    400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    411: "Length Required",
+    413: "Payload Too Large",
+    415: "Unsupported Media Type",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+    505: "HTTP Version Not Supported",
+}
+
+
+def reason_phrase(status: int) -> str:
+    """Reason phrase for a status code; generic class phrase if unknown."""
+    if status in _REASONS:
+        return _REASONS[status]
+    return {1: "Informational", 2: "Success", 3: "Redirection",
+            4: "Client Error", 5: "Server Error"}.get(status // 100, "Unknown")

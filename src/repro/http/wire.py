@@ -1,0 +1,330 @@
+"""Incremental (sans-io) HTTP/1.1 parser and serializer.
+
+The parsers are push-style state machines: feed bytes with
+:meth:`~MessageParser.feed`, poll :meth:`~MessageParser.next_message`.
+They never touch sockets, so the threaded runtime and the discrete-event
+simulator share them byte-for-byte.  Supported framing: Content-Length,
+chunked transfer coding, and (responses only) read-until-close.
+
+Limits: header block ≤ :data:`MAX_HEADER_BYTES`, body ≤ ``max_body``
+(default 16 MiB); exceeding either raises :class:`HttpParseError` — a
+forwarding intermediary must bound memory per connection.
+"""
+
+from __future__ import annotations
+
+from repro.errors import HttpParseError
+from repro.http.message import Headers, HttpRequest, HttpResponse
+from repro.http.status import reason_phrase
+
+MAX_HEADER_BYTES = 32 * 1024
+DEFAULT_MAX_BODY = 16 * 1024 * 1024
+
+_CRLF = b"\r\n"
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+
+def _serialize_headers(headers: Headers, out: list[bytes]) -> None:
+    for name, value in headers:
+        out.append(f"{name}: {value}\r\n".encode("latin-1"))
+    out.append(_CRLF)
+
+
+def serialize_request(req: HttpRequest) -> bytes:
+    """Wire bytes for a request; adds Content-Length if no framing given."""
+    headers = req.headers.copy()
+    if req.body and "Content-Length" not in headers and "Transfer-Encoding" not in headers:
+        headers.set("Content-Length", str(len(req.body)))
+    elif not req.body and req.method in ("POST", "PUT") and "Content-Length" not in headers:
+        headers.set("Content-Length", "0")
+    out = [f"{req.method} {req.target} {req.version}\r\n".encode("latin-1")]
+    _serialize_headers(headers, out)
+    out.append(req.body)
+    return b"".join(out)
+
+
+def serialize_response(resp: HttpResponse) -> bytes:
+    """Wire bytes for a response; always emits explicit Content-Length."""
+    headers = resp.headers.copy()
+    if "Content-Length" not in headers and "Transfer-Encoding" not in headers:
+        headers.set("Content-Length", str(len(resp.body)))
+    reason = resp.reason if resp.reason is not None else reason_phrase(resp.status)
+    out = [f"{resp.version} {resp.status} {reason}\r\n".encode("latin-1")]
+    _serialize_headers(headers, out)
+    out.append(resp.body)
+    return b"".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+class MessageParser:
+    """Shared incremental parser machinery for requests and responses."""
+
+    #: subclass hook: True for responses (enables read-until-close framing)
+    is_response = False
+
+    def __init__(self, max_body: int = DEFAULT_MAX_BODY) -> None:
+        self._buf = bytearray()
+        self._max_body = max_body
+        self._state = "start-line"
+        self._eof = False
+        # per-message scratch
+        self._start: tuple[str, str, str] | None = None
+        self._headers: Headers | None = None
+        self._body = bytearray()
+        self._remaining = 0
+        self._chunk_trailer = False
+        self._ready: list[object] = []
+        #: set per-message by the server loop for HEAD / 204 handling
+        self.expect_no_body = False
+
+    # -- public API -----------------------------------------------------
+    def feed(self, data: bytes) -> None:
+        """Feed wire bytes; raises HttpParseError on protocol violations."""
+        if self._eof:
+            raise HttpParseError("feed after EOF")
+        self._buf.extend(data)
+        self._advance()
+
+    def feed_eof(self) -> None:
+        """Signal connection close; may complete a read-until-close body."""
+        self._eof = True
+        self._advance()
+        if self._state == "body-until-close":
+            self._finish_message()
+        elif self._state != "start-line" or self._buf:
+            raise HttpParseError("connection closed mid-message")
+
+    def next_message(self):
+        """Pop one completed message, or None."""
+        if self._ready:
+            return self._ready.pop(0)
+        return None
+
+    @property
+    def idle(self) -> bool:
+        """True when no partial message is buffered (safe keep-alive point)."""
+        return self._state == "start-line" and not self._buf and not self._ready
+
+    # -- state machine -----------------------------------------------------
+    def _advance(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._state == "start-line":
+                progress = self._parse_start_line()
+            elif self._state == "headers":
+                progress = self._parse_headers()
+            elif self._state == "body-length":
+                progress = self._parse_body_length()
+            elif self._state == "chunk-size":
+                progress = self._parse_chunk_size()
+            elif self._state == "chunk-data":
+                progress = self._parse_chunk_data()
+            elif self._state == "body-until-close":
+                progress = self._parse_until_close()
+
+    def _take_line(self) -> bytes | None:
+        idx = self._buf.find(_CRLF)
+        if idx < 0:
+            if len(self._buf) > MAX_HEADER_BYTES:
+                raise HttpParseError("header line exceeds limit")
+            return None
+        line = bytes(self._buf[:idx])
+        del self._buf[: idx + 2]
+        return line
+
+    def _parse_start_line(self) -> bool:
+        line = self._take_line()
+        if line is None:
+            return False
+        if not line:
+            return True  # tolerate leading blank line (robustness, RFC 7230 3.5)
+        try:
+            text = line.decode("latin-1")
+        except UnicodeDecodeError:  # pragma: no cover - latin-1 never fails
+            raise HttpParseError("undecodable start line") from None
+        parts = text.split(" ", 2)
+        if len(parts) < 3:
+            raise HttpParseError(f"malformed start line {text!r}")
+        self._start = (parts[0], parts[1], parts[2])
+        self._headers = Headers()
+        self._body = bytearray()
+        self._state = "headers"
+        return True
+
+    def _parse_headers(self) -> bool:
+        assert self._headers is not None
+        header_bytes = 0
+        while True:
+            line = self._take_line()
+            if line is None:
+                return False
+            if not line:
+                self._begin_body()
+                return True
+            header_bytes += len(line)
+            if header_bytes > MAX_HEADER_BYTES:
+                raise HttpParseError("header block exceeds limit")
+            if line[0:1] in (b" ", b"\t"):
+                raise HttpParseError("obsolete header folding not supported")
+            name, sep, value = line.decode("latin-1").partition(":")
+            if not sep or not name or name != name.strip():
+                raise HttpParseError(f"malformed header line {line!r}")
+            self._headers.add(name, value.strip())
+
+    def _begin_body(self) -> None:
+        assert self._headers is not None
+        te = self._headers.get("Transfer-Encoding")
+        cl = self._headers.get("Content-Length")
+        if self.expect_no_body:
+            self._finish_message()
+            return
+        if te is not None:
+            if te.strip().lower() != "chunked":
+                raise HttpParseError(f"unsupported Transfer-Encoding {te!r}")
+            if cl is not None:
+                raise HttpParseError("both Content-Length and Transfer-Encoding")
+            self._state = "chunk-size"
+            return
+        if cl is not None:
+            values = self._headers.get_all("Content-Length")
+            if len(set(values)) != 1:
+                raise HttpParseError("conflicting Content-Length values")
+            try:
+                self._remaining = int(cl)
+            except ValueError:
+                raise HttpParseError(f"bad Content-Length {cl!r}") from None
+            if self._remaining < 0:
+                raise HttpParseError("negative Content-Length")
+            if self._remaining > self._max_body:
+                raise HttpParseError("declared body exceeds limit")
+            if self._remaining == 0:
+                self._finish_message()
+            else:
+                self._state = "body-length"
+            return
+        if self.is_response:
+            try:
+                status = int(self._start[1]) if self._start else 0
+            except ValueError:
+                raise HttpParseError(
+                    f"bad status code {self._start[1]!r}"
+                ) from None
+            if status in (204, 304) or 100 <= status < 200:
+                self._finish_message()
+            else:
+                self._state = "body-until-close"
+            return
+        # request without framing info has no body
+        self._finish_message()
+
+    def _parse_body_length(self) -> bool:
+        if not self._buf:
+            return False
+        take = min(self._remaining, len(self._buf))
+        self._body.extend(self._buf[:take])
+        del self._buf[:take]
+        self._remaining -= take
+        if self._remaining == 0:
+            self._finish_message()
+            return True
+        return False
+
+    def _parse_chunk_size(self) -> bool:
+        line = self._take_line()
+        if line is None:
+            return False
+        if self._chunk_trailer:
+            # trailers: skip lines until the blank terminator
+            if line:
+                return True
+            self._chunk_trailer = False
+            self._finish_message()
+            return True
+        size_text = line.split(b";", 1)[0].strip()
+        try:
+            size = int(size_text, 16)
+        except ValueError:
+            raise HttpParseError(f"bad chunk size {size_text!r}") from None
+        if size < 0:
+            raise HttpParseError("negative chunk size")
+        if len(self._body) + size > self._max_body:
+            raise HttpParseError("chunked body exceeds limit")
+        if size == 0:
+            self._chunk_trailer = True
+            return True
+        self._remaining = size
+        self._state = "chunk-data"
+        return True
+
+    def _parse_chunk_data(self) -> bool:
+        needed = self._remaining + 2  # data + CRLF
+        if len(self._buf) < needed:
+            return False
+        self._body.extend(self._buf[: self._remaining])
+        if self._buf[self._remaining : needed] != _CRLF:
+            raise HttpParseError("chunk data not followed by CRLF")
+        del self._buf[:needed]
+        self._remaining = 0
+        self._state = "chunk-size"
+        return True
+
+    def _parse_until_close(self) -> bool:
+        if len(self._body) + len(self._buf) > self._max_body:
+            raise HttpParseError("body exceeds limit")
+        self._body.extend(self._buf)
+        self._buf.clear()
+        return False
+
+    def _finish_message(self) -> None:
+        assert self._start is not None and self._headers is not None
+        self._ready.append(self._build(self._start, self._headers, bytes(self._body)))
+        self._start = None
+        self._headers = None
+        self._body = bytearray()
+        self._remaining = 0
+        self._state = "start-line"
+        self.expect_no_body = False
+
+    def _build(self, start: tuple[str, str, str], headers: Headers, body: bytes):
+        raise NotImplementedError
+
+
+class RequestParser(MessageParser):
+    """Incremental parser yielding :class:`HttpRequest` objects."""
+
+    is_response = False
+
+    def _build(self, start, headers, body):
+        method, target, version = start
+        if version not in ("HTTP/1.0", "HTTP/1.1"):
+            raise HttpParseError(f"unsupported version {version!r}")
+        if not method.isupper():
+            raise HttpParseError(f"invalid method {method!r}")
+        return HttpRequest(
+            method=method, target=target, headers=headers, body=body, version=version
+        )
+
+
+class ResponseParser(MessageParser):
+    """Incremental parser yielding :class:`HttpResponse` objects."""
+
+    is_response = True
+
+    def _build(self, start, headers, body):
+        version, status_text, reason = start
+        if version not in ("HTTP/1.0", "HTTP/1.1"):
+            raise HttpParseError(f"unsupported version {version!r}")
+        try:
+            status = int(status_text)
+        except ValueError:
+            raise HttpParseError(f"bad status code {status_text!r}") from None
+        return HttpResponse(
+            status=status, headers=headers, body=body, version=version, reason=reason
+        )

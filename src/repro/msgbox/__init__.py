@@ -1,0 +1,29 @@
+"""WS-MsgBox: the post-office mailbox service (paper §3, Fig. 2).
+
+A Web Service client with no accessible network endpoint (applet, NATed
+host) creates a mailbox, hands out the mailbox EPR as its
+``wsa:ReplyTo``, and later *polls* the mailbox over plain RPC — which
+always works outbound through firewalls.  Lifecycle: create (1) →
+messages deposited (2) → client takes messages (3) → destroy (4).
+
+Modules: :mod:`~repro.msgbox.store` (bounded storage with expiry),
+:mod:`~repro.msgbox.security` (owner tokens — the paper's future work;
+the original relied only on unguessable addresses),
+:mod:`~repro.msgbox.service` (the SOAP facade, including the paper's
+thread-per-message delivery bug as a reproducible mode), and
+:mod:`~repro.msgbox.client` (polling helper).
+"""
+
+from repro.msgbox.store import MailboxStore, StoredMessage
+from repro.msgbox.security import MailboxSecurity
+from repro.msgbox.service import MsgBoxService, MSGBOX_NS
+from repro.msgbox.client import MsgBoxClient
+
+__all__ = [
+    "MailboxStore",
+    "StoredMessage",
+    "MailboxSecurity",
+    "MsgBoxService",
+    "MSGBOX_NS",
+    "MsgBoxClient",
+]

@@ -1,0 +1,183 @@
+"""Mailbox storage: bounded per-mailbox FIFO with message expiry.
+
+The paper's WS-MsgBox held messages in memory until the client fetched
+them and freed "memory space in the WS-MsgBox service implementation" on
+destroy.  This store adds the quotas the original lacked (per-mailbox
+message/byte limits, global mailbox limit) because unbounded buffering is
+exactly what made the original fragile.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+from dataclasses import dataclass, field
+
+from repro.errors import MailboxNotFound, MailboxQuotaExceeded
+from repro.util.clock import Clock, MonotonicClock
+from repro.util.ids import IdGenerator
+
+
+@dataclass
+class StoredMessage:
+    """One deposited message (opaque envelope bytes + bookkeeping)."""
+
+    data: bytes
+    deposited_at: float
+    expires_at: float | None = None
+
+
+@dataclass
+class _Mailbox:
+    mailbox_id: str
+    created_at: float
+    messages: collections.deque[StoredMessage] = field(
+        default_factory=collections.deque
+    )
+    bytes_used: int = 0
+    deposits: int = 0
+    takes: int = 0
+
+
+class MailboxStore:
+    """Thread-safe mailbox table."""
+
+    def __init__(
+        self,
+        max_mailboxes: int = 10_000,
+        max_messages_per_box: int = 1_000,
+        max_bytes_per_box: int = 8 * 1024 * 1024,
+        message_ttl: float | None = None,
+        clock: Clock | None = None,
+        ids: IdGenerator | None = None,
+    ) -> None:
+        self.max_mailboxes = max_mailboxes
+        self.max_messages_per_box = max_messages_per_box
+        self.max_bytes_per_box = max_bytes_per_box
+        self.message_ttl = message_ttl
+        self.clock = clock or MonotonicClock()
+        self._ids = ids or IdGenerator("mb")
+        self._boxes: dict[str, _Mailbox] = {}
+        self._lock = threading.Lock()
+        self._arrival = threading.Condition(self._lock)
+
+    # -- lifecycle (Fig. 2: steps 1 and 4) -------------------------------
+    def create(self) -> str:
+        """Create a mailbox; returns its unguessable id."""
+        with self._lock:
+            if len(self._boxes) >= self.max_mailboxes:
+                raise MailboxQuotaExceeded(
+                    f"mailbox limit {self.max_mailboxes} reached"
+                )
+            mailbox_id = self._ids.next_token(128)
+            self._boxes[mailbox_id] = _Mailbox(mailbox_id, self.clock.now())
+            return mailbox_id
+
+    def destroy(self, mailbox_id: str) -> None:
+        with self._lock:
+            if self._boxes.pop(mailbox_id, None) is None:
+                raise MailboxNotFound(mailbox_id)
+
+    def exists(self, mailbox_id: str) -> bool:
+        with self._lock:
+            return mailbox_id in self._boxes
+
+    # -- deposit / take (Fig. 2: steps 2 and 3) -----------------------------
+    def deposit(self, mailbox_id: str, data: bytes) -> None:
+        now = self.clock.now()
+        with self._lock:
+            box = self._boxes.get(mailbox_id)
+            if box is None:
+                raise MailboxNotFound(mailbox_id)
+            self._expire(box, now)
+            if len(box.messages) >= self.max_messages_per_box:
+                raise MailboxQuotaExceeded(
+                    f"mailbox {mailbox_id[:8]}… message quota exceeded"
+                )
+            if box.bytes_used + len(data) > self.max_bytes_per_box:
+                raise MailboxQuotaExceeded(
+                    f"mailbox {mailbox_id[:8]}… byte quota exceeded"
+                )
+            expires = now + self.message_ttl if self.message_ttl else None
+            box.messages.append(StoredMessage(data, now, expires))
+            box.bytes_used += len(data)
+            box.deposits += 1
+            self._arrival.notify_all()
+
+    def take(self, mailbox_id: str, max_messages: int = 10) -> list[bytes]:
+        """Remove and return up to ``max_messages`` oldest messages."""
+        if max_messages <= 0:
+            raise ValueError("max_messages must be positive")
+        now = self.clock.now()
+        with self._lock:
+            box = self._boxes.get(mailbox_id)
+            if box is None:
+                raise MailboxNotFound(mailbox_id)
+            self._expire(box, now)
+            out: list[bytes] = []
+            while box.messages and len(out) < max_messages:
+                msg = box.messages.popleft()
+                box.bytes_used -= len(msg.data)
+                out.append(msg.data)
+            box.takes += 1
+            return out
+
+    def wait_for_message(self, mailbox_id: str, timeout: float) -> bool:
+        """Block until the mailbox has a message (long-poll support).
+
+        Returns True when at least one message is present, False on
+        timeout.  Raises :class:`~repro.errors.MailboxNotFound` if the
+        mailbox does not exist (checked before and after the wait — a
+        destroy during the wait wakes nothing, so the timeout covers it).
+        """
+        deadline = self.clock.now() + timeout
+        with self._arrival:
+            while True:
+                box = self._boxes.get(mailbox_id)
+                if box is None:
+                    raise MailboxNotFound(mailbox_id)
+                self._expire(box, self.clock.now())
+                if box.messages:
+                    return True
+                remaining = deadline - self.clock.now()
+                if remaining <= 0:
+                    return False
+                self._arrival.wait(min(remaining, 0.25))
+
+    def peek_count(self, mailbox_id: str) -> int:
+        with self._lock:
+            box = self._boxes.get(mailbox_id)
+            if box is None:
+                raise MailboxNotFound(mailbox_id)
+            self._expire(box, self.clock.now())
+            return len(box.messages)
+
+    @staticmethod
+    def _expire(box: _Mailbox, now: float) -> None:
+        while box.messages:
+            head = box.messages[0]
+            if head.expires_at is None or head.expires_at > now:
+                break
+            box.messages.popleft()
+            box.bytes_used -= len(head.data)
+
+    # -- introspection -----------------------------------------------------
+    def mailbox_count(self) -> int:
+        with self._lock:
+            return len(self._boxes)
+
+    def total_bytes(self) -> int:
+        with self._lock:
+            return sum(b.bytes_used for b in self._boxes.values())
+
+    def stats(self, mailbox_id: str) -> dict[str, int]:
+        with self._lock:
+            box = self._boxes.get(mailbox_id)
+            if box is None:
+                raise MailboxNotFound(mailbox_id)
+            return {
+                "pending": len(box.messages),
+                "bytes": box.bytes_used,
+                "deposits": box.deposits,
+                "takes": box.takes,
+            }

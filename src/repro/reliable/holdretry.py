@@ -1,0 +1,193 @@
+"""Hold/retry store: at-least-once delivery with expiration.
+
+The store holds messages that could not be delivered, redelivers them on a
+policy-driven schedule, and expires them after a deadline (the paper:
+"messages stored in DB with expiration time").  Persistence is pluggable
+through the same text-file map the registry uses; in-memory is the
+default.  Because redelivery makes duplicates possible, the receiving side
+pairs it with :class:`DuplicateFilter`, which suppresses repeated
+``wsa:MessageID`` values inside a sliding window.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import DeliveryExpired
+from repro.reliable.policy import RetryPolicy, ExponentialBackoff
+from repro.util.clock import Clock, MonotonicClock
+
+
+@dataclass
+class HeldMessage:
+    """One message awaiting (re)delivery."""
+
+    message_id: str
+    target_url: str
+    envelope_bytes: bytes
+    expires_at: float
+    attempts: int = 0
+    next_attempt_at: float = 0.0
+
+
+@dataclass
+class _StoreStats:
+    held: int = 0
+    delivered: int = 0
+    expired: int = 0
+    attempts: int = 0
+
+
+class HoldRetryStore:
+    """Store-and-forward buffer with retry scheduling and expiration.
+
+    ``deliver`` is the transmission function (returns normally on success,
+    raises on failure); the store never touches the network itself, so the
+    threaded dispatcher, the simulator, and tests can all drive it.
+    """
+
+    def __init__(
+        self,
+        deliver: Callable[[HeldMessage], None],
+        policy: RetryPolicy | None = None,
+        default_ttl: float = 300.0,
+        clock: Clock | None = None,
+    ) -> None:
+        self._deliver = deliver
+        self.policy = policy or ExponentialBackoff()
+        self.default_ttl = default_ttl
+        self.clock = clock or MonotonicClock()
+        self._held: dict[str, HeldMessage] = {}
+        self._lock = threading.Lock()
+        self._stats = _StoreStats()
+
+    # -- intake ----------------------------------------------------------
+    def hold(
+        self,
+        message_id: str,
+        target_url: str,
+        envelope_bytes: bytes,
+        ttl: float | None = None,
+    ) -> HeldMessage:
+        """Accept a message for later delivery (idempotent per MessageID)."""
+        now = self.clock.now()
+        with self._lock:
+            existing = self._held.get(message_id)
+            if existing is not None:
+                return existing
+            msg = HeldMessage(
+                message_id=message_id,
+                target_url=target_url,
+                envelope_bytes=envelope_bytes,
+                expires_at=now + (ttl if ttl is not None else self.default_ttl),
+                next_attempt_at=now,
+            )
+            self._held[message_id] = msg
+            self._stats.held += 1
+            return msg
+
+    # -- pump ---------------------------------------------------------------
+    def pump(self) -> dict[str, int]:
+        """Attempt every due message once; returns a summary.
+
+        Call periodically (a dispatcher maintenance thread, a simulation
+        process, or a test loop).  Expired messages are dropped and counted;
+        exhausted-retry messages expire immediately.
+        """
+        now = self.clock.now()
+        due: list[HeldMessage] = []
+        with self._lock:
+            for mid in list(self._held):
+                msg = self._held[mid]
+                if msg.expires_at <= now:
+                    del self._held[mid]
+                    self._stats.expired += 1
+                    continue
+                if msg.next_attempt_at <= now:
+                    due.append(msg)
+        delivered = failed = 0
+        for msg in due:
+            msg.attempts += 1
+            with self._lock:
+                self._stats.attempts += 1
+            try:
+                self._deliver(msg)
+            except Exception:  # noqa: BLE001 - any failure means retry
+                failed += 1
+                if not self.policy.should_retry(msg.attempts):
+                    with self._lock:
+                        if self._held.pop(msg.message_id, None) is not None:
+                            self._stats.expired += 1
+                    continue
+                msg.next_attempt_at = now + self.policy.delay_before(
+                    msg.attempts + 1
+                )
+                continue
+            delivered += 1
+            with self._lock:
+                self._held.pop(msg.message_id, None)
+                self._stats.delivered += 1
+        return {"due": len(due), "delivered": delivered, "failed": failed}
+
+    def run_until_empty(self, timeout: float) -> None:
+        """Pump until the store drains; raises DeliveryExpired on timeout."""
+        deadline = self.clock.now() + timeout
+        while self.pending() > 0:
+            if self.clock.now() >= deadline:
+                raise DeliveryExpired(
+                    f"{self.pending()} messages still held after {timeout}s"
+                )
+            self.pump()
+            self.clock.sleep(0.01)
+
+    # -- introspection -----------------------------------------------------
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._held)
+
+    @property
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "held": self._stats.held,
+                "delivered": self._stats.delivered,
+                "expired": self._stats.expired,
+                "attempts": self._stats.attempts,
+            }
+
+
+class DuplicateFilter:
+    """Sliding-window duplicate suppression keyed by ``wsa:MessageID``.
+
+    ``seen`` returns True for a MessageID observed within ``window``
+    seconds — the receiver should drop the message (at-least-once becomes
+    effectively-once for idempotent windows).
+    """
+
+    def __init__(self, window: float = 600.0, clock: Clock | None = None) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self.clock = clock or MonotonicClock()
+        self._seen: dict[str, float] = {}
+        self._lock = threading.Lock()
+
+    def seen(self, message_id: str) -> bool:
+        now = self.clock.now()
+        with self._lock:
+            # amortized cleanup: purge expired entries when the table grows
+            if len(self._seen) > 4096:
+                cutoff = now - self.window
+                for mid in [m for m, t in self._seen.items() if t < cutoff]:
+                    del self._seen[mid]
+            stamp = self._seen.get(message_id)
+            if stamp is not None and now - stamp < self.window:
+                return True
+            self._seen[message_id] = now
+            return False
+
+    def size(self) -> int:
+        with self._lock:
+            return len(self._seen)

@@ -1,0 +1,63 @@
+"""Retry policies for message delivery."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class RetryPolicy:
+    """Decides whether and when to retry a failed delivery attempt.
+
+    ``attempts`` counts tries already made (1 = the initial attempt
+    failed).  ``delay_before(n)`` is the pause before making attempt ``n``.
+    """
+
+    def should_retry(self, attempts: int) -> bool:
+        raise NotImplementedError
+
+    def delay_before(self, attempt: int) -> float:
+        raise NotImplementedError
+
+
+@dataclass
+class FixedDelay(RetryPolicy):
+    """Retry up to ``max_attempts`` total tries with a constant pause."""
+
+    max_attempts: int = 3
+    delay: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.delay < 0:
+            raise ValueError("delay must be >= 0")
+
+    def should_retry(self, attempts: int) -> bool:
+        return attempts < self.max_attempts
+
+    def delay_before(self, attempt: int) -> float:
+        return self.delay
+
+
+@dataclass
+class ExponentialBackoff(RetryPolicy):
+    """Exponential backoff: base * factor**(attempt-2), capped."""
+
+    max_attempts: int = 5
+    base: float = 0.05
+    factor: float = 2.0
+    max_delay: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base < 0 or self.factor < 1.0 or self.max_delay < 0:
+            raise ValueError("invalid backoff parameters")
+
+    def should_retry(self, attempts: int) -> bool:
+        return attempts < self.max_attempts
+
+    def delay_before(self, attempt: int) -> float:
+        if attempt <= 1:
+            return 0.0
+        return min(self.base * self.factor ** (attempt - 2), self.max_delay)

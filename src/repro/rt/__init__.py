@@ -1,0 +1,30 @@
+"""Threaded runtime: HTTP server/client and SOAP service hosting.
+
+This is the "real" execution environment: services run behind an
+:class:`HttpServer` (acceptor thread + bounded worker pool) and talk to
+each other through a pooling :class:`HttpClient`.  Transports are
+pluggable (in-process or real TCP), so the whole dispatcher stack can run
+inside one Python process or across localhost sockets unchanged.
+"""
+
+from repro.rt.server import HttpServer
+from repro.rt.client import HttpClient
+from repro.rt.service import (
+    RequestContext,
+    SoapService,
+    SoapHttpApp,
+    FunctionService,
+    soap_response,
+    soap_fault_response,
+)
+
+__all__ = [
+    "HttpServer",
+    "HttpClient",
+    "RequestContext",
+    "SoapService",
+    "SoapHttpApp",
+    "FunctionService",
+    "soap_response",
+    "soap_fault_response",
+]

@@ -1,0 +1,170 @@
+"""Pooling HTTP client for the threaded runtime.
+
+Keeps one small pool of persistent connections per endpoint (the paper's
+WsThreads hold "an open connection for a predefined time with a specified
+WS").  A connection is reused only when the previous exchange left it at a
+message boundary; anything suspicious is discarded and the request retried
+once on a fresh connection.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.errors import (
+    ConnectionClosed,
+    ConnectionTimeout,
+    HttpParseError,
+    SoapError,
+    TransportError,
+    XmlError,
+)
+from repro.http import Headers, HttpRequest, HttpResponse
+from repro.http.wire import ResponseParser, serialize_request
+from repro.soap import Envelope
+from repro.transport.base import Connector, Endpoint, Stream, parse_http_url
+
+_RECV_CHUNK = 64 * 1024
+
+
+@dataclass
+class _PooledConn:
+    stream: Stream
+    endpoint: Endpoint
+
+
+class HttpClient:
+    """Blocking HTTP client with per-endpoint connection reuse."""
+
+    def __init__(
+        self,
+        connector: Connector,
+        connect_timeout: float = 5.0,
+        response_timeout: float = 30.0,
+        pool_per_endpoint: int = 4,
+        user_agent: str = "repro-client/1.0",
+    ) -> None:
+        self._connector = connector
+        self.connect_timeout = connect_timeout
+        self.response_timeout = response_timeout
+        self._pool_per_endpoint = pool_per_endpoint
+        self._user_agent = user_agent
+        self._pools: dict[Endpoint, list[Stream]] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- connection pool -------------------------------------------------
+    def _checkout(self, endpoint: Endpoint) -> tuple[Stream, bool]:
+        """Return (stream, reused)."""
+        with self._lock:
+            pool = self._pools.get(endpoint)
+            if pool:
+                return pool.pop(), True
+        return (
+            self._connector.connect(endpoint, timeout=self.connect_timeout),
+            False,
+        )
+
+    def _checkin(self, endpoint: Endpoint, stream: Stream) -> None:
+        with self._lock:
+            if self._closed:
+                stream.close()
+                return
+            pool = self._pools.setdefault(endpoint, [])
+            if len(pool) < self._pool_per_endpoint:
+                pool.append(stream)
+                return
+        stream.close()
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            streams = [s for pool in self._pools.values() for s in pool]
+            self._pools.clear()
+        for s in streams:
+            s.close()
+
+    def __enter__(self) -> "HttpClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request execution -------------------------------------------------
+    def request(self, url: str, request: HttpRequest) -> HttpResponse:
+        """Send one request to ``url``'s endpoint and read the response.
+
+        The request's ``target`` is overwritten with the URL's path.
+        Retries exactly once on a stale pooled connection.
+        """
+        endpoint, path = parse_http_url(url)
+        request.target = path
+        request.headers.set("Host", str(endpoint))
+        if "User-Agent" not in request.headers:
+            request.headers.set("User-Agent", self._user_agent)
+
+        stream, reused = self._checkout(endpoint)
+        try:
+            return self._exchange(endpoint, stream, request)
+        except (ConnectionClosed, HttpParseError, TransportError):
+            stream.close()
+            if not reused:
+                raise
+        # stale pooled connection: one retry on a fresh one
+        stream = self._connector.connect(endpoint, timeout=self.connect_timeout)
+        try:
+            return self._exchange(endpoint, stream, request)
+        except BaseException:
+            stream.close()
+            raise
+
+    def _exchange(
+        self, endpoint: Endpoint, stream: Stream, request: HttpRequest
+    ) -> HttpResponse:
+        stream.send(serialize_request(request))
+        parser = ResponseParser()
+        if request.method == "HEAD":
+            parser.expect_no_body = True
+        while True:
+            message = parser.next_message()
+            if message is not None:
+                response: HttpResponse = message  # type: ignore[assignment]
+                if response.keep_alive and parser.idle:
+                    self._checkin(endpoint, stream)
+                else:
+                    stream.close()
+                return response
+            data = stream.recv(_RECV_CHUNK, timeout=self.response_timeout)
+            if not data:
+                parser.feed_eof()
+                tail = parser.next_message()
+                if tail is not None:
+                    stream.close()
+                    return tail  # type: ignore[return-value]
+                raise ConnectionClosed("server closed before full response")
+            parser.feed(data)
+
+    # -- SOAP conveniences ---------------------------------------------------
+    def post_envelope(self, url: str, envelope: Envelope) -> HttpResponse:
+        headers = Headers()
+        headers.set("Content-Type", envelope.version.content_type)
+        req = HttpRequest("POST", "/", headers=headers, body=envelope.to_bytes())
+        return self.request(url, req)
+
+    def call_soap(self, url: str, envelope: Envelope) -> Envelope | None:
+        """POST an envelope; parse the reply envelope (None for 202/204).
+
+        Raises :class:`~repro.errors.SoapError` if the response is not a
+        SOAP message; fault envelopes are returned, not raised — callers
+        decide (the dispatcher must *relay* faults, not swallow them).
+        """
+        response = self.post_envelope(url, envelope)
+        if response.status in (202, 204) or not response.body:
+            return None
+        try:
+            return Envelope.from_bytes(response.body)
+        except (XmlError, SoapError) as exc:
+            raise SoapError(
+                f"non-SOAP response (HTTP {response.status}) from {url}: {exc}"
+            ) from exc

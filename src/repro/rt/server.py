@@ -1,0 +1,141 @@
+"""Threaded HTTP/1.1 server: acceptor thread + bounded worker pool.
+
+Connection lifecycle mirrors the paper's servlet-container assumptions:
+each accepted connection is served by one pooled worker that loops
+request→response while the client keeps the connection alive, bounded by
+an idle timeout.  The pool size bounds concurrency; when it is saturated,
+new connections queue in the executor (policy "block") — backpressure
+rather than thread explosion.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro.errors import (
+    ConnectionTimeout,
+    HttpParseError,
+    TransportError,
+)
+from repro.http import HttpRequest, HttpResponse
+from repro.http.wire import RequestParser, serialize_response
+from repro.transport.base import Listener, Stream
+from repro.util.concurrency import BoundedExecutor, RejectedExecution
+
+Handler = Callable[[HttpRequest, str | None], HttpResponse]
+
+_RECV_CHUNK = 64 * 1024
+
+
+class HttpServer:
+    """Serve HTTP over any :class:`~repro.transport.base.Listener`."""
+
+    def __init__(
+        self,
+        listener: Listener,
+        handler: Handler,
+        workers: int = 16,
+        keep_alive_timeout: float = 15.0,
+        name: str = "http",
+    ) -> None:
+        self._listener = listener
+        self._handler = handler
+        self._keep_alive_timeout = keep_alive_timeout
+        self._pool = BoundedExecutor(workers, queue_size=0, name=f"{name}-worker")
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"{name}-accept", daemon=True
+        )
+        self._running = False
+        self._lock = threading.Lock()
+        self._connections_served = 0
+        self._requests_served = 0
+
+    # -- lifecycle ----------------------------------------------------------
+    @property
+    def endpoint(self):
+        return self._listener.endpoint
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._listener.endpoint}"
+
+    def start(self) -> "HttpServer":
+        self._running = True
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+        self._listener.close()
+        self._pool.shutdown(wait=False)
+
+    def __enter__(self) -> "HttpServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- metrics ----------------------------------------------------------
+    @property
+    def connections_served(self) -> int:
+        with self._lock:
+            return self._connections_served
+
+    @property
+    def requests_served(self) -> int:
+        with self._lock:
+            return self._requests_served
+
+    # -- internals ----------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                stream = self._listener.accept(timeout=0.5)
+            except ConnectionTimeout:
+                continue
+            except TransportError:
+                return  # listener closed
+            with self._lock:
+                self._connections_served += 1
+            try:
+                self._pool.submit(lambda s=stream: self._serve_connection(s))
+            except RejectedExecution:
+                stream.close()
+
+    def _serve_connection(self, stream: Stream) -> None:
+        parser = RequestParser()
+        try:
+            while self._running:
+                request = self._read_request(stream, parser)
+                if request is None or not self._running:
+                    return  # idle expiry, client EOF, or server stopped
+                response = self._handler(request, None)
+                if not request.keep_alive:
+                    response.headers.set("Connection", "close")
+                stream.send(serialize_response(response))
+                with self._lock:
+                    self._requests_served += 1
+                if not request.keep_alive or not response.keep_alive:
+                    return
+        except (TransportError, HttpParseError):
+            return  # drop the connection; client sees reset/EOF
+        finally:
+            stream.close()
+
+    def _read_request(
+        self, stream: Stream, parser: RequestParser
+    ) -> HttpRequest | None:
+        while True:
+            message = parser.next_message()
+            if message is not None:
+                return message  # type: ignore[return-value]
+            try:
+                data = stream.recv(_RECV_CHUNK, timeout=self._keep_alive_timeout)
+            except ConnectionTimeout:
+                return None  # idle keep-alive expiry
+            if not data:
+                if parser.idle:
+                    return None
+                raise HttpParseError("connection closed mid-request")
+            parser.feed(data)

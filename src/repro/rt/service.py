@@ -1,0 +1,174 @@
+"""SOAP service hosting: the bridge between HTTP and envelopes.
+
+A :class:`SoapService` receives a parsed envelope and returns a reply
+envelope (RPC style), or ``None`` for accepted one-way messages (the HTTP
+layer then answers ``202 Accepted`` — the messaging pattern of the
+MSG-Dispatcher).  :class:`SoapHttpApp` routes by URL path prefix, so one
+server can host a dispatcher, a registry browser, and a mailbox service on
+different paths exactly as the paper co-locates them.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.errors import ReproError, SoapError, XmlError
+from repro.http import Headers, HttpRequest, HttpResponse
+from repro.soap import Envelope, Fault
+from repro.soap.constants import SoapVersion
+
+
+@dataclass
+class RequestContext:
+    """Per-request information handed to services."""
+
+    path: str
+    http_request: HttpRequest | None = None
+    #: transport-level peer identity, when the server knows it
+    peer: str | None = None
+    #: free-form slots services/middleware may use (e.g. SSO principal)
+    attributes: dict[str, object] = field(default_factory=dict)
+
+
+class SoapService(Protocol):
+    """Anything that can process a SOAP envelope."""
+
+    def handle(self, envelope: Envelope, ctx: RequestContext) -> Envelope | None:
+        """Process one message; return the reply envelope or None (one-way)."""
+        ...
+
+
+class FunctionService:
+    """Adapter turning a plain callable into a :class:`SoapService`."""
+
+    def __init__(
+        self, fn: Callable[[Envelope, RequestContext], Envelope | None]
+    ) -> None:
+        self._fn = fn
+
+    def handle(self, envelope: Envelope, ctx: RequestContext) -> Envelope | None:
+        return self._fn(envelope, ctx)
+
+
+def soap_response(envelope: Envelope, status: int = 200) -> HttpResponse:
+    """Wrap a reply envelope into an HTTP response."""
+    body = envelope.to_bytes()
+    headers = Headers()
+    headers.set("Content-Type", envelope.version.content_type)
+    return HttpResponse(status=status, headers=headers, body=body)
+
+
+def soap_fault_response(
+    fault: Fault,
+    status: int = 500,
+    version: SoapVersion = SoapVersion.V11,
+) -> HttpResponse:
+    """HTTP response carrying a SOAP fault envelope."""
+    envelope = Envelope(fault.to_element(version), version=version)
+    return soap_response(envelope, status=status)
+
+
+class SoapHttpApp:
+    """HTTP request handler that dispatches SOAP posts to mounted services.
+
+    Mounting is by path prefix; the longest matching prefix wins.  ``GET``
+    requests are delegated to optional page handlers (used by the registry's
+    browsable Yellow-Pages listing).
+    """
+
+    def __init__(
+        self,
+        server_header: str = "repro-wsd/1.0",
+        accept_binary: bool = False,
+    ) -> None:
+        """``accept_binary=True`` additionally accepts binary-XML envelopes
+        (``application/x-repro-binxml``) — the protocol-extension future
+        work; replies to binary callers are encoded in kind."""
+        self._services: list[tuple[str, SoapService]] = []
+        self._pages: list[tuple[str, Callable[[HttpRequest], HttpResponse]]] = []
+        self._server_header = server_header
+        self._accept_binary = accept_binary
+
+    def mount(self, prefix: str, service: SoapService) -> None:
+        if not prefix.startswith("/"):
+            raise ValueError("mount prefix must start with '/'")
+        self._services.append((prefix, service))
+        self._services.sort(key=lambda item: len(item[0]), reverse=True)
+
+    def mount_page(
+        self, prefix: str, handler: Callable[[HttpRequest], HttpResponse]
+    ) -> None:
+        if not prefix.startswith("/"):
+            raise ValueError("mount prefix must start with '/'")
+        self._pages.append((prefix, handler))
+        self._pages.sort(key=lambda item: len(item[0]), reverse=True)
+
+    def _lookup(self, path: str) -> SoapService | None:
+        for prefix, service in self._services:
+            if path == prefix or path.startswith(prefix.rstrip("/") + "/") or (
+                prefix.endswith("/") and path.startswith(prefix)
+            ):
+                return service
+        return None
+
+    # -- HttpServer handler entry point ----------------------------------
+    def handle_request(self, request: HttpRequest, peer: str | None = None) -> HttpResponse:
+        path = request.target.split("?", 1)[0]
+        if request.method == "GET":
+            for prefix, handler in self._pages:
+                if path == prefix or path.startswith(prefix.rstrip("/") + "/"):
+                    return handler(request)
+            return HttpResponse(status=404, body=b"not found")
+        if request.method != "POST":
+            return HttpResponse(status=405, body=b"SOAP endpoints accept POST")
+
+        service = self._lookup(path)
+        if service is None:
+            return soap_fault_response(
+                Fault("Client", f"no service mounted at {path}"), status=404
+            )
+        content_type = request.headers.get("Content-Type")
+        binary_caller = False
+        try:
+            if self._accept_binary:
+                from repro.soap.binxml import BINXML_CONTENT_TYPE, sniff_and_parse
+
+                envelope = sniff_and_parse(request.body, content_type)
+                binary_caller = bool(
+                    (content_type and BINXML_CONTENT_TYPE in content_type)
+                    or request.body.startswith(b"BX1")
+                )
+            else:
+                envelope = Envelope.from_bytes(request.body)
+        except (XmlError, SoapError) as exc:
+            return soap_fault_response(
+                Fault("Client", f"malformed SOAP request: {exc}"), status=400
+            )
+        ctx = RequestContext(path=path, http_request=request, peer=peer)
+        try:
+            reply = service.handle(envelope, ctx)
+        except ReproError as exc:
+            return soap_fault_response(
+                Fault("Server", str(exc)), status=500, version=envelope.version
+            )
+        except Exception as exc:  # noqa: BLE001 - fault barrier at HTTP edge
+            detail = traceback.format_exc(limit=5)
+            return soap_fault_response(
+                Fault("Server", f"internal error: {exc}", detail=detail),
+                status=500,
+                version=envelope.version,
+            )
+        if reply is None:
+            return HttpResponse(status=202)
+        status = 500 if reply.is_fault() else 200
+        if binary_caller:
+            from repro.soap.binxml import BINXML_CONTENT_TYPE, encode_envelope
+
+            headers = Headers()
+            headers.set("Content-Type", BINXML_CONTENT_TYPE)
+            return HttpResponse(
+                status=status, headers=headers, body=encode_envelope(reply)
+            )
+        return soap_response(reply, status=status)

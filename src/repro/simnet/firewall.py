@@ -1,0 +1,58 @@
+"""Stateful firewall / NAT model (connection granularity).
+
+The paper's problem statement: hosts "behind firewall that allows only
+outgoing connections".  We enforce the policy at connection-establishment
+time — an inbound SYN to a protected host is silently dropped (the
+connecting peer sees a connect *timeout*, not a refusal, exactly like a
+default-drop firewall), while traffic on a connection the protected host
+itself opened flows freely in both directions (stateful reply tracking).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FirewallPolicy:
+    """Inbound admission policy of one host.
+
+    ``inbound_open``      — accept any inbound connection (public host).
+    ``open_ports``        — inbound allowed on these ports even if closed.
+    ``allowed_sources``   — inbound allowed from these host names.
+    """
+
+    inbound_open: bool = True
+    open_ports: frozenset[int] = field(default_factory=frozenset)
+    allowed_sources: frozenset[str] = field(default_factory=frozenset)
+    #: count of dropped inbound connection attempts
+    dropped: int = 0
+
+    @classmethod
+    def open(cls) -> "FirewallPolicy":
+        """No filtering — a publicly reachable host."""
+        return cls(inbound_open=True)
+
+    @classmethod
+    def outbound_only(
+        cls,
+        open_ports: tuple[int, ...] = (),
+        allowed_sources: tuple[str, ...] = (),
+    ) -> "FirewallPolicy":
+        """Institutional/NAT posture: outgoing connections only."""
+        return cls(
+            inbound_open=False,
+            open_ports=frozenset(open_ports),
+            allowed_sources=frozenset(allowed_sources),
+        )
+
+    def admits_inbound(self, src_host: str, port: int) -> bool:
+        """Would an inbound SYN from ``src_host`` to ``port`` pass?"""
+        if self.inbound_open:
+            return True
+        if port in self.open_ports:
+            return True
+        if src_host in self.allowed_sources:
+            return True
+        self.dropped += 1
+        return False

@@ -1,0 +1,252 @@
+"""HTTP over the simulated transport, reusing the production wire codec.
+
+Handlers may be plain functions (``HttpRequest -> HttpResponse``) or
+generator functions that yield simulation events and return the response
+— which is how the simulated dispatchers perform their own forwarding I/O
+while serving a request.
+"""
+
+from __future__ import annotations
+
+import types
+from typing import Callable
+
+from repro.errors import (
+    ConnectionClosed,
+    ConnectionTimeout,
+    HttpParseError,
+    TransportError,
+)
+from repro.http import HttpRequest, HttpResponse
+from repro.http.wire import RequestParser, ResponseParser, serialize_request, serialize_response
+from repro.simnet.kernel import Simulator
+from repro.simnet.resources import Resource
+from repro.simnet.tcpsim import SimTcpConnection, TcpParams, connect, listen
+from repro.simnet.topology import Host, Network
+
+Handler = Callable[[HttpRequest], "HttpResponse | types.GeneratorType"]
+
+
+class SimHttpServer:
+    """HTTP server hosted on a simulated machine.
+
+    ``workers`` bounds concurrent request *processing* (the servlet thread
+    pool); accepted connections beyond that queue for a worker.
+    ``service_time`` is the CPU cost per request on a speed-1.0 host (the
+    host's ``cpu_factor`` scales it) — this is what makes inriaSlow slow.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        host: Host,
+        port: int,
+        handler: Handler,
+        workers: int = 32,
+        keep_alive_timeout: float = 15.0,
+        service_time: float = 0.0005,
+        params: TcpParams | None = None,
+    ) -> None:
+        self.net = net
+        self.sim = net.sim
+        self.host = host
+        self.port = port
+        self.handler = handler
+        self.keep_alive_timeout = keep_alive_timeout
+        self.service_time = service_time
+        self.params = params or TcpParams()
+        self.workers = Resource(self.sim, capacity=workers)
+        self.listener = listen(self.sim, host, port, self.params)
+        self.requests_served = 0
+        self.connections_accepted = 0
+        self._running = True
+        self.sim.process(self._accept_loop(), name=f"http-accept-{host.name}:{port}")
+
+    def stop(self) -> None:
+        self._running = False
+        self.listener.close()
+
+    # -- processes ----------------------------------------------------------
+    def _accept_loop(self):
+        while self._running:
+            try:
+                conn = yield self.listener.accept()
+            except Exception:
+                return
+            self.connections_accepted += 1
+            self.sim.process(
+                self._serve(conn), name=f"http-conn-{self.host.name}:{self.port}"
+            )
+
+    def _serve(self, conn: SimTcpConnection):
+        parser = RequestParser()
+        try:
+            while self._running:
+                request = None
+                while request is None:
+                    request = parser.next_message()
+                    if request is not None:
+                        break
+                    try:
+                        data = yield from conn.recv(timeout=self.keep_alive_timeout)
+                    except ConnectionTimeout:
+                        return
+                    if not data:
+                        return
+                    parser.feed(data)
+
+                req_slot = self.workers.request()
+                yield req_slot
+                try:
+                    if self.service_time > 0:
+                        yield self.host.compute(self.service_time)
+                    response = self._invoke(request)
+                    if isinstance(response, types.GeneratorType):
+                        response = yield from response
+                finally:
+                    req_slot.release()
+                if not request.keep_alive:
+                    response.headers.set("Connection", "close")
+                yield from conn.send(serialize_response(response))
+                self.requests_served += 1
+                if not request.keep_alive or not response.keep_alive:
+                    return
+        except (TransportError, HttpParseError):
+            return
+        finally:
+            conn.close()
+
+    def _invoke(self, request: HttpRequest):
+        return self.handler(request)
+
+
+def sim_http_exchange(
+    conn: SimTcpConnection,
+    request: HttpRequest,
+    response_timeout: float,
+):
+    """Process step: send a request on an open connection, read the reply.
+
+    Usage: ``response = yield from sim_http_exchange(conn, req, 30.0)``.
+    """
+    yield from conn.send(serialize_request(request))
+    parser = ResponseParser()
+    if request.method == "HEAD":
+        parser.expect_no_body = True
+    while True:
+        message = parser.next_message()
+        if message is not None:
+            return message
+        data = yield from conn.recv(timeout=response_timeout)
+        if not data:
+            parser.feed_eof()
+            tail = parser.next_message()
+            if tail is not None:
+                return tail
+            raise ConnectionClosed("server closed before full response")
+        parser.feed(data)
+
+
+def sim_http_request(
+    net: Network,
+    client: Host,
+    server_name: str,
+    port: int,
+    request: HttpRequest,
+    connect_timeout: float = 21.0,
+    response_timeout: float = 30.0,
+    params: TcpParams | None = None,
+):
+    """Process step: one-shot request (fresh connection, closed after).
+
+    Usage: ``response = yield from sim_http_request(...)``.
+    """
+    params = params or TcpParams()
+    params.connect_timeout = connect_timeout
+    conn = yield from connect(net, client, server_name, port, params)
+    try:
+        response = yield from sim_http_exchange(conn, request, response_timeout)
+        return response
+    finally:
+        conn.close()
+
+
+class SimHttpClientPool:
+    """Per-destination persistent connections for a simulated client host.
+
+    The WsThread model: ``exchange`` reuses an idle connection to the
+    destination when one exists and it is still usable, otherwise opens a
+    fresh one; connections return to the pool after a clean exchange.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        host: Host,
+        connect_timeout: float = 21.0,
+        response_timeout: float = 30.0,
+        pool_per_destination: int = 2,
+    ) -> None:
+        self.net = net
+        self.host = host
+        self.connect_timeout = connect_timeout
+        self.response_timeout = response_timeout
+        self.pool_per_destination = pool_per_destination
+        self._idle: dict[tuple[str, int], list[SimTcpConnection]] = {}
+        self.reuses = 0
+        self.fresh_connects = 0
+
+    def exchange(self, server_name: str, port: int, request: HttpRequest):
+        """Process step: request/response with connection reuse."""
+        key = (server_name, port)
+        conn: SimTcpConnection | None = None
+        pool = self._idle.get(key)
+        while pool:
+            candidate = pool.pop()
+            if not candidate.closed and candidate.peer and not candidate.peer.closed:
+                conn = candidate
+                break
+        reused = conn is not None
+        if conn is None:
+            params = TcpParams(connect_timeout=self.connect_timeout)
+            conn = yield from connect(self.net, self.host, server_name, port, params)
+            self.fresh_connects += 1
+        else:
+            self.reuses += 1
+        try:
+            response = yield from sim_http_exchange(
+                conn, request, self.response_timeout
+            )
+        except (TransportError, HttpParseError):
+            conn.close()
+            if reused:
+                # retry once on a fresh connection (the pooled one was stale)
+                params = TcpParams(connect_timeout=self.connect_timeout)
+                conn = yield from connect(
+                    self.net, self.host, server_name, port, params
+                )
+                self.fresh_connects += 1
+                try:
+                    response = yield from sim_http_exchange(
+                        conn, request, self.response_timeout
+                    )
+                except BaseException:
+                    conn.close()
+                    raise
+            else:
+                raise
+        if response.keep_alive:
+            bucket = self._idle.setdefault(key, [])
+            if len(bucket) < self.pool_per_destination:
+                bucket.append(conn)
+            else:
+                conn.close()
+        else:
+            conn.close()
+        return response
+
+    def close_all(self) -> None:
+        for pool in self._idle.values():
+            for conn in pool:
+                conn.close()
+        self._idle.clear()

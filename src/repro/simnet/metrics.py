@@ -1,0 +1,123 @@
+"""Time-series sampling inside a simulation.
+
+Figures tell you *what* happened; the sampler tells you *why*: it records
+periodic snapshots of any gauges you register (link backlog, host
+connection counts, queue depths, dispatcher counters) so an experiment's
+dynamics — the queue filling, the connection table saturating — are
+visible over simulated time.
+
+>>> sampler = MetricsSampler(sim, interval=1.0)
+>>> sampler.gauge("uplink-backlog", lambda: host.link.up.backlog_seconds)
+>>> sampler.start()
+>>> ... run ...
+>>> print(sampler.render())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.simnet.kernel import Simulator
+from repro.simnet.topology import Host
+
+
+@dataclass
+class SeriesData:
+    """One sampled gauge: aligned (time, value) lists."""
+
+    name: str
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def at(self, time: float) -> float:
+        """Last sampled value at or before ``time`` (0.0 before first)."""
+        best = 0.0
+        for t, v in zip(self.times, self.values):
+            if t > time:
+                break
+            best = v
+        return best
+
+    @property
+    def peak(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+
+class MetricsSampler:
+    """Samples registered gauges on a fixed simulated-time cadence."""
+
+    def __init__(self, sim: Simulator, interval: float = 1.0) -> None:
+        if interval <= 0:
+            raise SimulationError("sampling interval must be positive")
+        self.sim = sim
+        self.interval = interval
+        self._gauges: dict[str, Callable[[], float]] = {}
+        self.series: dict[str, SeriesData] = {}
+        self._started = False
+
+    # -- registration -------------------------------------------------------
+    def gauge(self, name: str, fn: Callable[[], float]) -> None:
+        if name in self._gauges:
+            raise SimulationError(f"gauge {name!r} already registered")
+        self._gauges[name] = fn
+        self.series[name] = SeriesData(name)
+
+    def watch_host(self, host: Host, prefix: str | None = None) -> None:
+        """Register the standard gauges for one host."""
+        p = prefix or host.name
+        self.gauge(f"{p}.connections", lambda h=host: float(h.active_connections))
+        self.gauge(f"{p}.up_backlog_s", lambda h=host: h.link.up.backlog_seconds)
+        self.gauge(f"{p}.down_backlog_s", lambda h=host: h.link.down.backlog_seconds)
+
+    # -- sampling -------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            raise SimulationError("sampler already started")
+        self._started = True
+        self.sim.process(self._run(), name="metrics-sampler")
+
+    def _run(self):
+        while True:
+            self._sample()
+            yield self.sim.timeout(self.interval)
+
+    def _sample(self) -> None:
+        now = self.sim.now
+        for name, fn in self._gauges.items():
+            try:
+                value = float(fn())
+            except Exception:  # noqa: BLE001 - a dead gauge records NaN-ish 0
+                value = 0.0
+            data = self.series[name]
+            data.times.append(now)
+            data.values.append(value)
+
+    # -- reporting ---------------------------------------------------------
+    def render(self, names: list[str] | None = None, width: int = 40) -> str:
+        """Compact sparkline-style table: min/mean/peak plus a trend bar."""
+        blocks = " ▁▂▃▄▅▆▇█"
+        lines = []
+        for name in names or sorted(self.series):
+            data = self.series[name]
+            if not data.values:
+                lines.append(f"{name}: (no samples)")
+                continue
+            peak = data.peak or 1.0
+            # downsample to `width` buckets for the trend bar
+            n = len(data.values)
+            bar = []
+            for i in range(min(width, n)):
+                lo = i * n // min(width, n)
+                hi = max(lo + 1, (i + 1) * n // min(width, n))
+                chunk = max(data.values[lo:hi])
+                bar.append(blocks[min(8, int(8 * chunk / peak))])
+            lines.append(
+                f"{name}: mean={data.mean:.3g} peak={data.peak:.3g} |{''.join(bar)}|"
+            )
+        return "\n".join(lines)

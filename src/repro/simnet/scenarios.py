@@ -1,0 +1,100 @@
+"""Scenario builders with the paper's measured site characteristics.
+
+Paper §4.3 bandwidth measurements:
+
+- Cable Modem, US (iuLow): download 2333 kbps, upload 288 kbps
+- Backbone Internet (IU), US (iuHigh): download 3655 kbps, upload 2739 kbps
+- INRIA, France: download 1335 kbps, upload 1262 kbps — "inside
+  institutional network and behind firewall"
+
+Hosts: inriaFast (P4 3.4 GHz), inriaSlow (P3 1 GHz), IU SunFire 280R
+(2x1200 MHz), iuLow (P3 850 MHz).  We express host speed as ``cpu_factor``
+relative to the fast machines (~1.0); the slow ones get ~3.5-4.0.
+Trans-Atlantic one-way latency ≈ 55 ms per side to the core (RTT INRIA↔IU
+≈ 110-120 ms, typical for 2005).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.simnet.firewall import FirewallPolicy
+from repro.simnet.kernel import Simulator
+from repro.simnet.topology import AccessLink, Host, Network
+
+
+@dataclass(frozen=True)
+class SiteSpec:
+    """Reusable description of a site's connectivity and host speed."""
+
+    name: str
+    down_kbps: float
+    up_kbps: float
+    latency: float
+    cpu_factor: float = 1.0
+    behind_firewall: bool = False
+    max_connections: int = 1024
+
+
+#: The paper's three measured sites (§4.3) plus host speeds.
+CABLE_MODEM_US = SiteSpec(
+    name="iuLow",
+    down_kbps=2333.0,
+    up_kbps=288.0,
+    latency=0.030,  # residential last mile + regional transit
+    cpu_factor=4.0,  # P3 @ 850 MHz
+    behind_firewall=True,  # home router / NAT
+    max_connections=256,  # consumer-grade stack of the era
+)
+
+BACKBONE_IU = SiteSpec(
+    name="iuHigh",
+    down_kbps=3655.0,
+    up_kbps=2739.0,
+    latency=0.010,
+    cpu_factor=1.0,  # SunFire 280R
+    behind_firewall=False,
+    max_connections=1024,
+)
+
+INRIA = SiteSpec(
+    name="inria",
+    down_kbps=1335.0,
+    up_kbps=1262.0,
+    latency=0.055,  # trans-Atlantic share of the path
+    cpu_factor=1.0,  # inriaFast, P4 3.4 GHz
+    behind_firewall=True,  # "inside institutional network and behind firewall"
+    max_connections=1024,
+)
+
+#: The slow INRIA machine used in the "bad conditions" experiment.
+INRIA_SLOW = replace(INRIA, name="inriaSlow", cpu_factor=3.5)
+
+
+def add_site(
+    net: Network,
+    spec: SiteSpec,
+    name: str | None = None,
+    open_ports: tuple[int, ...] = (),
+) -> Host:
+    """Instantiate a site spec as a host (optionally renamed)."""
+    firewall = (
+        FirewallPolicy.outbound_only(open_ports=open_ports)
+        if spec.behind_firewall
+        else FirewallPolicy.open()
+    )
+    return net.add_host(
+        name or spec.name,
+        AccessLink(spec.down_kbps, spec.up_kbps, spec.latency),
+        firewall=firewall,
+        max_connections=spec.max_connections,
+        cpu_factor=spec.cpu_factor,
+    )
+
+
+def make_network(*specs: SiteSpec) -> tuple[Simulator, Network, dict[str, Host]]:
+    """Build a fresh simulator + network with the given sites."""
+    sim = Simulator()
+    net = Network(sim)
+    hosts = {spec.name: add_site(net, spec) for spec in specs}
+    return sim, net, hosts

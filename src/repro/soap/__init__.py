@@ -1,0 +1,35 @@
+"""SOAP 1.1 / 1.2 messaging framework subset.
+
+Implements the envelope model the WS-Dispatcher operates on: Envelope =
+optional Header (a list of header blocks) + Body (one payload element or a
+Fault).  Both SOAP 1.1 (``http://schemas.xmlsoap.org/soap/envelope/``) and
+SOAP 1.2 (``http://www.w3.org/2003/05/soap-envelope``) namespaces are
+supported, mirroring the paper's XSUL modules ("SOAP 1.1 and 1.2
+wrapping/unwrapping; RPC style wrapping").
+"""
+
+from repro.soap.constants import SOAP11_NS, SOAP12_NS, SoapVersion
+from repro.soap.envelope import Envelope
+from repro.soap.fault import Fault
+from repro.soap.rpc import (
+    RpcRequest,
+    RpcResponse,
+    build_rpc_request,
+    build_rpc_response,
+    parse_rpc_request,
+    parse_rpc_response,
+)
+
+__all__ = [
+    "SOAP11_NS",
+    "SOAP12_NS",
+    "SoapVersion",
+    "Envelope",
+    "Fault",
+    "RpcRequest",
+    "RpcResponse",
+    "build_rpc_request",
+    "build_rpc_response",
+    "parse_rpc_request",
+    "parse_rpc_response",
+]

@@ -1,0 +1,35 @@
+"""SOAP namespace constants and version descriptor."""
+
+from __future__ import annotations
+
+import enum
+
+SOAP11_NS = "http://schemas.xmlsoap.org/soap/envelope/"
+SOAP12_NS = "http://www.w3.org/2003/05/soap-envelope"
+
+#: HTTP content types per version (1.1 uses text/xml + SOAPAction header,
+#: 1.2 uses application/soap+xml with an action parameter).
+SOAP11_CONTENT_TYPE = "text/xml; charset=utf-8"
+SOAP12_CONTENT_TYPE = "application/soap+xml; charset=utf-8"
+
+
+class SoapVersion(enum.Enum):
+    """The two SOAP envelope dialects the dispatcher understands."""
+
+    V11 = SOAP11_NS
+    V12 = SOAP12_NS
+
+    @property
+    def ns(self) -> str:
+        return self.value
+
+    @property
+    def content_type(self) -> str:
+        return SOAP11_CONTENT_TYPE if self is SoapVersion.V11 else SOAP12_CONTENT_TYPE
+
+    @classmethod
+    def from_ns(cls, ns: str) -> "SoapVersion":
+        for v in cls:
+            if v.value == ns:
+                return v
+        raise ValueError(f"not a SOAP envelope namespace: {ns!r}")

@@ -1,0 +1,85 @@
+"""SOAP Fault representation covering both the 1.1 and 1.2 shapes.
+
+SOAP 1.1: ``<Fault><faultcode>..<faultstring>..<detail>``  (unnamespaced
+children).  SOAP 1.2: ``<Fault><Code><Value>..</Code><Reason><Text>..``
+(namespaced children).  The dispatcher generates faults when routing
+fails (unknown logical address, destination unreachable, timeout) and
+relays faults produced by services.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SoapError
+from repro.soap.constants import SoapVersion
+from repro.xmlmini import Element, QName
+
+#: Standard fault codes (the local part; prefixed per version on the wire).
+CODE_CLIENT = "Client"  # 1.2: Sender
+CODE_SERVER = "Server"  # 1.2: Receiver
+CODE_VERSION_MISMATCH = "VersionMismatch"
+
+_V12_CODE_MAP = {CODE_CLIENT: "Sender", CODE_SERVER: "Receiver"}
+_V12_CODE_UNMAP = {v: k for k, v in _V12_CODE_MAP.items()}
+
+
+@dataclass
+class Fault:
+    """Version-independent fault: canonical code, reason, optional detail."""
+
+    code: str
+    reason: str
+    detail: str | None = None
+
+    def to_element(self, version: SoapVersion = SoapVersion.V11) -> Element:
+        ns = version.ns
+        fault = Element(QName(ns, "Fault"))
+        if version is SoapVersion.V11:
+            fault.add(Element(QName(None, "faultcode"), text=f"soapenv:{self.code}"))
+            fault.add(Element(QName(None, "faultstring"), text=self.reason))
+            if self.detail is not None:
+                detail = Element(QName(None, "detail"))
+                detail.add(Element(QName(None, "message"), text=self.detail))
+                fault.children.append(detail)
+        else:
+            code = Element(QName(ns, "Code"))
+            wire_code = _V12_CODE_MAP.get(self.code, self.code)
+            code.add(Element(QName(ns, "Value"), text=f"soapenv:{wire_code}"))
+            fault.children.append(code)
+            reason = Element(QName(ns, "Reason"))
+            reason.add(Element(QName(ns, "Text"), text=self.reason))
+            fault.children.append(reason)
+            if self.detail is not None:
+                detail = Element(QName(ns, "Detail"))
+                detail.add(Element(QName(None, "message"), text=self.detail))
+                fault.children.append(detail)
+        return fault
+
+    @classmethod
+    def from_element(cls, el: Element) -> "Fault":
+        if el.name.local != "Fault" or el.name.ns is None:
+            raise SoapError(f"not a Fault element: {el.name.clark()}")
+        version = SoapVersion.from_ns(el.name.ns)
+        if version is SoapVersion.V11:
+            code_el = el.find(QName(None, "faultcode"))
+            string_el = el.find(QName(None, "faultstring"))
+            if code_el is None or string_el is None:
+                raise SoapError("SOAP 1.1 Fault missing faultcode/faultstring")
+            code = code_el.text.strip()
+            code = code.rpartition(":")[2]  # strip any prefix
+            detail_el = el.find(QName(None, "detail"))
+            detail = detail_el.full_text().strip() if detail_el is not None else None
+            return cls(code=code, reason=string_el.text.strip(), detail=detail or None)
+        ns = version.ns
+        code_el = el.find(QName(ns, "Code"))
+        reason_el = el.find(QName(ns, "Reason"))
+        if code_el is None or reason_el is None:
+            raise SoapError("SOAP 1.2 Fault missing Code/Reason")
+        value = code_el.require(QName(ns, "Value")).text.strip().rpartition(":")[2]
+        value = _V12_CODE_UNMAP.get(value, value)
+        text_el = reason_el.find(QName(ns, "Text"))
+        reason = text_el.text.strip() if text_el is not None else ""
+        detail_el = el.find(QName(ns, "Detail"))
+        detail = detail_el.full_text().strip() if detail_el is not None else None
+        return cls(code=value, reason=reason, detail=detail or None)

@@ -1,0 +1,131 @@
+"""SOAP-RPC style wrapping/unwrapping (section 7 of SOAP 1.1).
+
+An RPC request body is ``<m:opName xmlns:m=iface>`` containing one child
+element per parameter; the response is ``<m:opNameResponse>`` with one
+``<return>``-style child per result.  Parameters are carried as strings —
+the echo workloads and registry/mailbox operations in this reproduction
+only need string typing, matching the paper's test messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SoapError
+from repro.soap.constants import SoapVersion
+from repro.soap.envelope import Envelope
+from repro.soap.fault import Fault
+from repro.xmlmini import Element, QName
+
+
+@dataclass
+class RpcRequest:
+    """Decoded RPC call: interface namespace, operation, ordered params."""
+
+    interface_ns: str
+    operation: str
+    params: list[tuple[str, str]] = field(default_factory=list)
+
+    def param(self, name: str, default: str | None = None) -> str | None:
+        for k, v in self.params:
+            if k == name:
+                return v
+        return default
+
+    def require_param(self, name: str) -> str:
+        value = self.param(name)
+        if value is None:
+            raise SoapError(f"RPC call {self.operation!r} missing param {name!r}")
+        return value
+
+
+@dataclass
+class RpcResponse:
+    """Decoded RPC result: operation echo plus ordered result values."""
+
+    interface_ns: str
+    operation: str
+    results: list[tuple[str, str]] = field(default_factory=list)
+
+    def result(self, name: str, default: str | None = None) -> str | None:
+        for k, v in self.results:
+            if k == name:
+                return v
+        return default
+
+
+def _build_wrapper(
+    ns: str, wrapper_name: str, items: list[tuple[str, str]]
+) -> Element:
+    wrapper = Element(QName(ns, wrapper_name))
+    for name, value in items:
+        wrapper.add(Element(QName(None, name), text=value))
+    return wrapper
+
+
+def build_rpc_request(
+    req: RpcRequest,
+    headers: list[Element] | None = None,
+    version: SoapVersion = SoapVersion.V11,
+) -> Envelope:
+    """Wrap an :class:`RpcRequest` into an envelope."""
+    body = _build_wrapper(req.interface_ns, req.operation, req.params)
+    return Envelope(body, headers=headers, version=version)
+
+
+def build_rpc_response(
+    resp: RpcResponse,
+    headers: list[Element] | None = None,
+    version: SoapVersion = SoapVersion.V11,
+) -> Envelope:
+    """Wrap an :class:`RpcResponse`; the wrapper is ``<op>Response``."""
+    body = _build_wrapper(
+        resp.interface_ns, resp.operation + "Response", resp.results
+    )
+    return Envelope(body, headers=headers, version=version)
+
+
+def _unwrap(body: Element) -> list[tuple[str, str]]:
+    items: list[tuple[str, str]] = []
+    for child in body.element_children():
+        items.append((child.name.local, child.full_text()))
+    return items
+
+
+def parse_rpc_request(envelope: Envelope) -> RpcRequest:
+    """Decode an envelope as an RPC call."""
+    body = envelope.body
+    if body is None:
+        raise SoapError("RPC request envelope has an empty body")
+    if envelope.is_fault():
+        fault = Fault.from_element(body)
+        raise SoapError(f"expected RPC request, got fault: {fault.reason}")
+    if body.name.ns is None:
+        raise SoapError("RPC wrapper element must be namespace-qualified")
+    return RpcRequest(
+        interface_ns=body.name.ns,
+        operation=body.name.local,
+        params=_unwrap(body),
+    )
+
+
+def parse_rpc_response(envelope: Envelope) -> RpcResponse:
+    """Decode an envelope as an RPC result; raises on fault bodies."""
+    body = envelope.body
+    if body is None:
+        raise SoapError("RPC response envelope has an empty body")
+    if envelope.is_fault():
+        fault = Fault.from_element(body)
+        from repro.errors import SoapFaultError
+
+        raise SoapFaultError(fault.code, fault.reason, fault.detail)
+    if body.name.ns is None:
+        raise SoapError("RPC response wrapper must be namespace-qualified")
+    op = body.name.local
+    if op.endswith("Response"):
+        op = op[: -len("Response")]
+    return RpcResponse(
+        interface_ns=body.name.ns,
+        operation=op,
+        results=_unwrap(body),
+    )

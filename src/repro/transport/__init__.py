@@ -1,0 +1,25 @@
+"""Byte-stream transports for the threaded runtime.
+
+A :class:`~repro.transport.base.Stream` is the minimal duplex byte pipe
+the HTTP layer needs; implementations exist over real TCP sockets
+(:mod:`repro.transport.tcp`) and over in-process queues
+(:mod:`repro.transport.inproc`) so the full dispatcher stack can run in
+one process without touching the network — handy for tests and for the
+quickstart example on machines with no loopback access.
+"""
+
+from repro.transport.base import Stream, Listener, Connector, Endpoint
+from repro.transport.inproc import InprocNetwork, InprocStream
+from repro.transport.tcp import TcpConnector, TcpListener, TcpStream
+
+__all__ = [
+    "Stream",
+    "Listener",
+    "Connector",
+    "Endpoint",
+    "InprocNetwork",
+    "InprocStream",
+    "TcpConnector",
+    "TcpListener",
+    "TcpStream",
+]

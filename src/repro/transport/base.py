@@ -1,0 +1,98 @@
+"""Transport protocols: Stream, Listener, Connector.
+
+Addressing convention: endpoints are ``host:port`` strings.  The threaded
+runtime resolves service URLs (``http://host:port/path``) to endpoints
+with :func:`parse_http_url`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.errors import HttpError
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """A transport address: host name and port."""
+
+    host: str
+    port: int
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @classmethod
+    def parse(cls, text: str) -> "Endpoint":
+        host, sep, port = text.rpartition(":")
+        if not sep or not host:
+            raise ValueError(f"endpoint must be host:port, got {text!r}")
+        return cls(host, int(port))
+
+
+def parse_http_url(url: str) -> tuple[Endpoint, str]:
+    """Split ``http://host:port/path`` into (endpoint, path).
+
+    Only the ``http`` scheme is supported (the paper's stack is SOAP over
+    plain HTTP); the default port is 80 and the default path ``/``.
+    """
+    if not url.startswith("http://"):
+        raise HttpError(f"only http:// URLs are supported, got {url!r}")
+    rest = url[len("http://"):]
+    authority, sep, path = rest.partition("/")
+    path = "/" + path if sep else "/"
+    if not authority:
+        raise HttpError(f"URL has no host: {url!r}")
+    if ":" in authority:
+        host, _, port_text = authority.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise HttpError(f"bad port in URL {url!r}") from None
+    else:
+        host, port = authority, 80
+    return Endpoint(host, port), path
+
+
+@runtime_checkable
+class Stream(Protocol):
+    """A connected duplex byte stream."""
+
+    def send(self, data: bytes) -> None:
+        """Send all of ``data`` (blocking)."""
+        ...
+
+    def recv(self, max_bytes: int, timeout: float | None = None) -> bytes:
+        """Receive up to ``max_bytes``; b"" on orderly EOF.
+
+        Raises :class:`~repro.errors.ConnectionTimeout` when ``timeout``
+        expires with no data.
+        """
+        ...
+
+    def close(self) -> None:
+        ...
+
+
+@runtime_checkable
+class Listener(Protocol):
+    """A bound, listening endpoint producing accepted streams."""
+
+    @property
+    def endpoint(self) -> Endpoint:
+        ...
+
+    def accept(self, timeout: float | None = None) -> Stream:
+        ...
+
+    def close(self) -> None:
+        ...
+
+
+@runtime_checkable
+class Connector(Protocol):
+    """Factory for outbound connections."""
+
+    def connect(self, endpoint: Endpoint, timeout: float | None = None) -> Stream:
+        ...

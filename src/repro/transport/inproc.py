@@ -1,0 +1,179 @@
+"""In-process transport: paired byte streams over thread-safe buffers.
+
+An :class:`InprocNetwork` is a private namespace of listening endpoints.
+``connect`` hands the listener one half of a stream pair.  Semantics match
+TCP closely enough for the HTTP layer: stream-oriented (no message
+boundaries preserved), half-close on ``close`` (the peer's ``recv`` drains
+buffered data then returns b""), connect to a missing endpoint raises
+:class:`~repro.errors.ConnectionRefused`, and an accept backlog bound
+raises :class:`~repro.errors.ConnectionLimitExceeded`.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+
+from repro.errors import (
+    ConnectionLimitExceeded,
+    ConnectionRefused,
+    ConnectionTimeout,
+    TransportError,
+)
+from repro.transport.base import Endpoint
+
+
+class _Buffer:
+    """One direction of a stream pair: bounded byte FIFO with close flag."""
+
+    def __init__(self, limit: int = 4 * 1024 * 1024) -> None:
+        self._chunks: collections.deque[bytes] = collections.deque()
+        self._size = 0
+        self._limit = limit
+        self._closed = False
+        self._cond = threading.Condition()
+
+    def write(self, data: bytes) -> None:
+        if not data:
+            return
+        with self._cond:
+            if self._closed:
+                raise TransportError("write to closed stream")
+            # Block (backpressure) while the peer's buffer is full.
+            while self._size >= self._limit and not self._closed:
+                self._cond.wait(0.05)
+            if self._closed:
+                raise TransportError("write to closed stream")
+            self._chunks.append(data)
+            self._size += len(data)
+            self._cond.notify_all()
+
+    def read(self, max_bytes: int, timeout: float | None) -> bytes:
+        with self._cond:
+            if not self._cond.wait_for(
+                lambda: self._chunks or self._closed, timeout
+            ):
+                raise ConnectionTimeout("inproc recv timed out")
+            if not self._chunks:
+                return b""  # closed and drained
+            chunk = self._chunks.popleft()
+            if len(chunk) > max_bytes:
+                self._chunks.appendleft(chunk[max_bytes:])
+                chunk = chunk[:max_bytes]
+            self._size -= len(chunk)
+            self._cond.notify_all()
+            return chunk
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+
+class InprocStream:
+    """One endpoint of an in-process stream pair."""
+
+    def __init__(self, rx: _Buffer, tx: _Buffer) -> None:
+        self._rx = rx
+        self._tx = tx
+
+    def send(self, data: bytes) -> None:
+        self._tx.write(data)
+
+    def recv(self, max_bytes: int, timeout: float | None = None) -> bytes:
+        return self._rx.read(max_bytes, timeout)
+
+    def close(self) -> None:
+        # Close both directions: our outbound (peer sees EOF) and our
+        # inbound (our own pending reads finish).
+        self._tx.close()
+        self._rx.close()
+
+
+def stream_pair() -> tuple[InprocStream, InprocStream]:
+    """A connected pair of in-process streams."""
+    a_to_b = _Buffer()
+    b_to_a = _Buffer()
+    return InprocStream(b_to_a, a_to_b), InprocStream(a_to_b, b_to_a)
+
+
+class InprocListener:
+    """Accept side of an in-process endpoint."""
+
+    def __init__(self, network: "InprocNetwork", endpoint: Endpoint, backlog: int) -> None:
+        self._network = network
+        self._endpoint = endpoint
+        self._backlog = backlog
+        self._pending: collections.deque[InprocStream] = collections.deque()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    @property
+    def endpoint(self) -> Endpoint:
+        return self._endpoint
+
+    def _offer(self, stream: InprocStream) -> None:
+        with self._cond:
+            if self._closed:
+                raise ConnectionRefused(f"{self._endpoint} is closed")
+            if len(self._pending) >= self._backlog:
+                raise ConnectionLimitExceeded(
+                    f"{self._endpoint} backlog full ({self._backlog})"
+                )
+            self._pending.append(stream)
+            self._cond.notify()
+
+    def accept(self, timeout: float | None = None) -> InprocStream:
+        with self._cond:
+            if not self._cond.wait_for(
+                lambda: self._pending or self._closed, timeout
+            ):
+                raise ConnectionTimeout("accept timed out")
+            if self._pending:
+                return self._pending.popleft()
+            raise TransportError("listener closed")
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        self._network._unbind(self._endpoint)
+
+
+class InprocNetwork:
+    """A namespace of in-process endpoints (one per test/example)."""
+
+    def __init__(self) -> None:
+        self._listeners: dict[Endpoint, InprocListener] = {}
+        self._lock = threading.Lock()
+        self._auto_port = 49152
+
+    def listen(self, endpoint: Endpoint | str, backlog: int = 128) -> InprocListener:
+        if isinstance(endpoint, str):
+            endpoint = Endpoint.parse(endpoint)
+        with self._lock:
+            if endpoint.port == 0:
+                while Endpoint(endpoint.host, self._auto_port) in self._listeners:
+                    self._auto_port += 1
+                endpoint = Endpoint(endpoint.host, self._auto_port)
+                self._auto_port += 1
+            if endpoint in self._listeners:
+                raise TransportError(f"{endpoint} already bound")
+            listener = InprocListener(self, endpoint, backlog)
+            self._listeners[endpoint] = listener
+            return listener
+
+    def _unbind(self, endpoint: Endpoint) -> None:
+        with self._lock:
+            self._listeners.pop(endpoint, None)
+
+    def connect(self, endpoint: Endpoint | str, timeout: float | None = None) -> InprocStream:
+        if isinstance(endpoint, str):
+            endpoint = Endpoint.parse(endpoint)
+        with self._lock:
+            listener = self._listeners.get(endpoint)
+        if listener is None:
+            raise ConnectionRefused(f"nothing listening at {endpoint}")
+        client_side, server_side = stream_pair()
+        listener._offer(server_side)
+        return client_side

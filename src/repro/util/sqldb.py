@@ -1,0 +1,107 @@
+"""Relational persistence for the registry (paper future work §4.4).
+
+"To improve performances of this service we would like to integrate a
+relational database such as MySQL."  MySQL is not available offline, so
+this backend uses the standard library's SQLite with the same interface
+as :class:`~repro.util.textdb.TextFileMap` — the registry accepts either.
+The substitution preserves the property the paper is after: durable,
+transactional service records that survive dispatcher restarts.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS services (
+    logical  TEXT PRIMARY KEY,
+    primary_address TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS service_attrs (
+    logical TEXT NOT NULL REFERENCES services(logical) ON DELETE CASCADE,
+    name    TEXT NOT NULL,
+    value   TEXT NOT NULL,
+    PRIMARY KEY (logical, name)
+);
+"""
+
+
+class SqliteMap:
+    """Dict-like map with the :class:`TextFileMap` interface over SQLite.
+
+    ``path=":memory:"`` gives a private in-memory database (useful for
+    tests); a filesystem path gives durable storage.  All operations are
+    serialized by one lock — the registry's access pattern is lookup-heavy
+    and lookups are served from the dispatchers' in-memory copy, so the
+    database only sees mutations.
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        self._conn.execute("PRAGMA foreign_keys = ON")
+        self._lock = threading.Lock()
+        with self._lock, self._conn:
+            self._conn.executescript(_SCHEMA)
+
+    def put(self, key: str, primary: str, attrs: dict[str, str] | None = None) -> None:
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT INTO services(logical, primary_address) VALUES(?, ?) "
+                "ON CONFLICT(logical) DO UPDATE SET primary_address=excluded.primary_address",
+                (key, primary),
+            )
+            self._conn.execute("DELETE FROM service_attrs WHERE logical=?", (key,))
+            for name, value in (attrs or {}).items():
+                self._conn.execute(
+                    "INSERT INTO service_attrs(logical, name, value) VALUES(?,?,?)",
+                    (key, name, value),
+                )
+
+    def get(self, key: str) -> tuple[str, dict[str, str]] | None:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT primary_address FROM services WHERE logical=?", (key,)
+            ).fetchone()
+            if row is None:
+                return None
+            attrs = dict(
+                self._conn.execute(
+                    "SELECT name, value FROM service_attrs WHERE logical=?", (key,)
+                ).fetchall()
+            )
+            return row[0], attrs
+
+    def remove(self, key: str) -> bool:
+        with self._lock, self._conn:
+            cursor = self._conn.execute(
+                "DELETE FROM services WHERE logical=?", (key,)
+            )
+            return cursor.rowcount > 0
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            return [
+                row[0]
+                for row in self._conn.execute(
+                    "SELECT logical FROM services ORDER BY logical"
+                )
+            ]
+
+    def items(self) -> list[tuple[str, str, dict[str, str]]]:
+        out = []
+        for key in self.keys():
+            primary, attrs = self.get(key)  # type: ignore[misc]
+            out.append((key, primary, attrs))
+        return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._conn.execute("SELECT COUNT(*) FROM services").fetchone()[0]
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()

@@ -1,0 +1,142 @@
+"""Online statistics used by the test clients and benchmark harness.
+
+The paper's test client "records statistical data" (number of calls made,
+packets transmitted / not sent).  We keep richer per-run statistics but all
+of them are computed online in O(1) memory per sample (Welford mean and
+variance, fixed-bucket histogram), so a 60-second simulated run with
+thousands of clients does not accumulate per-message lists.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+class OnlineStats:
+    """Welford online mean/variance plus min/max.
+
+    >>> s = OnlineStats()
+    >>> for x in (1.0, 2.0, 3.0): s.add(x)
+    >>> s.mean
+    2.0
+    """
+
+    __slots__ = ("count", "_mean", "_m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator); 0 for fewer than 2 samples."""
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "OnlineStats") -> None:
+        """Fold another accumulator into this one (parallel combine)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.min = other.min
+            self.max = other.max
+            return
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self._mean += delta * other.count / total
+        self.count = total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OnlineStats(n={self.count}, mean={self.mean:.6g}, "
+            f"sd={self.stdev:.6g}, min={self.min:.6g}, max={self.max:.6g})"
+        )
+
+
+class Histogram:
+    """Fixed-width bucket histogram with overflow bucket.
+
+    Approximate quantiles are read back by walking the cumulative counts;
+    resolution is one bucket width, which is plenty for latency reporting.
+    """
+
+    def __init__(self, bucket_width: float, num_buckets: int = 256) -> None:
+        if bucket_width <= 0:
+            raise ValueError("bucket_width must be positive")
+        if num_buckets <= 0:
+            raise ValueError("num_buckets must be positive")
+        self.bucket_width = bucket_width
+        self.buckets = [0] * num_buckets
+        self.overflow = 0
+        self.count = 0
+
+    def add(self, value: float) -> None:
+        if value < 0:
+            raise ValueError("histogram values must be non-negative")
+        idx = int(value / self.bucket_width)
+        self.count += 1
+        if idx >= len(self.buckets):
+            self.overflow += 1
+        else:
+            self.buckets[idx] += 1
+
+    def quantile(self, q: float) -> float:
+        """Upper edge of the bucket containing quantile ``q`` (0..1)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for i, c in enumerate(self.buckets):
+            seen += c
+            if seen >= target and c:
+                return (i + 1) * self.bucket_width
+        return math.inf  # landed in the overflow bucket
+
+
+@dataclass
+class Counter:
+    """Named monotonic counters (transmitted / not-sent / errors ...)."""
+
+    values: dict[str, int] = field(default_factory=dict)
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.values[name] = self.values.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self.values.get(name, 0)
+
+    def merge(self, other: "Counter") -> None:
+        for name, v in other.values.items():
+            self.inc(name, v)
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.values)

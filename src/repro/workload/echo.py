@@ -1,0 +1,143 @@
+"""Echo web service — the paper's test workload.
+
+"Essentially it is very similar to the ping command.  We estimate the
+size of our test SOAP/HTTP message is about 220 bytes for HTTP header and
+263 bytes for the XML message which makes a total of 483 bytes."
+
+:func:`make_echo_request` produces an RPC echo whose XML body is padded to
+exactly 263 bytes; :func:`make_echo_message` is the WS-Addressing variant
+used in messaging mode (same body, addressing headers on top).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.rt.client import HttpClient
+from repro.rt.service import RequestContext
+from repro.soap import (
+    Envelope,
+    RpcRequest,
+    RpcResponse,
+    build_rpc_request,
+    build_rpc_response,
+    parse_rpc_request,
+)
+from repro.util.ids import IdGenerator
+from repro.wsa import AddressingHeaders, EndpointReference, make_reply_headers
+
+ECHO_NS = "urn:repro:echo"
+
+#: XML body size target from the paper (bytes, including XML declaration).
+PAPER_XML_BYTES = 263
+#: Total message estimate from the paper (HTTP header + XML body).
+PAPER_TOTAL_BYTES = 483
+
+
+def _padded_payload(target_bytes: int) -> str:
+    """Payload text sizing the serialized RPC envelope to ``target_bytes``."""
+    probe = build_rpc_request(RpcRequest(ECHO_NS, "echo", [("text", "")]))
+    overhead = len(probe.to_bytes())
+    pad = max(0, target_bytes - overhead)
+    return "x" * pad
+
+
+_PAYLOAD_CACHE: dict[int, str] = {}
+
+
+def make_echo_request(target_bytes: int = PAPER_XML_BYTES) -> Envelope:
+    """A plain SOAP-RPC echo request sized like the paper's test packet."""
+    text = _PAYLOAD_CACHE.get(target_bytes)
+    if text is None:
+        text = _padded_payload(target_bytes)
+        _PAYLOAD_CACHE[target_bytes] = text
+    return build_rpc_request(RpcRequest(ECHO_NS, "echo", [("text", text)]))
+
+
+def make_echo_message(
+    to: str,
+    message_id: str,
+    reply_to: EndpointReference | None = None,
+    target_bytes: int = PAPER_XML_BYTES,
+) -> Envelope:
+    """A one-way WS-Addressing echo message (messaging mode)."""
+    envelope = make_echo_request(target_bytes)
+    headers = AddressingHeaders(
+        to=to,
+        action=f"{ECHO_NS}/echo",
+        message_id=message_id,
+        reply_to=reply_to,
+    )
+    headers.attach(envelope)
+    return envelope
+
+
+class EchoService:
+    """RPC echo: replies in-band with the received text.
+
+    ``response_delay`` models a slow service (the Table 1 quadrant where
+    "message reply comes too late" for an RPC transport).
+    """
+
+    def __init__(self, response_delay: float = 0.0, sleep=None) -> None:
+        self.response_delay = response_delay
+        self._sleep = sleep or (lambda s: threading.Event().wait(s))
+        self._lock = threading.Lock()
+        self.calls = 0
+
+    def handle(self, envelope: Envelope, ctx: RequestContext) -> Envelope:
+        call = parse_rpc_request(envelope)
+        with self._lock:
+            self.calls += 1
+        if self.response_delay > 0:
+            self._sleep(self.response_delay)
+        return build_rpc_response(
+            RpcResponse(
+                call.interface_ns, call.operation, [("return", call.param("text") or "")]
+            ),
+            version=envelope.version,
+        )
+
+
+class AsyncEchoService:
+    """Messaging echo: accepts one-way requests, sends the response as a
+    new one-way message to the request's ``wsa:ReplyTo``.
+
+    This is the paper's "messaging based service": no reply rides the
+    inbound connection, so there is "no transport time limit on sending
+    response".  Failures to reach the ReplyTo (e.g. a firewalled client
+    addressed directly — Figure 6's worst case) are counted, not raised.
+    """
+
+    def __init__(self, http: HttpClient, ids: IdGenerator | None = None) -> None:
+        self.http = http
+        self.ids = ids or IdGenerator("echo-reply")
+        self._lock = threading.Lock()
+        self.received = 0
+        self.replies_sent = 0
+        self.replies_blocked = 0
+
+    def handle(self, envelope: Envelope, ctx: RequestContext) -> None:
+        call = parse_rpc_request(envelope)
+        request_headers = AddressingHeaders.from_envelope(envelope)
+        with self._lock:
+            self.received += 1
+        if request_headers.reply_to is None or request_headers.reply_to.is_anonymous:
+            return None  # nothing to reply to
+        reply = build_rpc_response(
+            RpcResponse(
+                call.interface_ns, call.operation, [("return", call.param("text") or "")]
+            ),
+            version=envelope.version,
+        )
+        headers = make_reply_headers(request_headers, self.ids.next())
+        headers.attach(reply)
+        try:
+            self.http.post_envelope(headers.to or "", reply)
+        except Exception:  # noqa: BLE001 - blocked by firewall / unreachable
+            with self._lock:
+                self.replies_blocked += 1
+            return None
+        with self._lock:
+            self.replies_sent += 1
+        return None

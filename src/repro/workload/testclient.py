@@ -1,0 +1,113 @@
+"""Threaded ramp-up test client (paper §4.3).
+
+Runs N concurrent client threads, each sending echo requests as fast as
+possible for a fixed duration, and aggregates "how many calls were made"
+— transmitted vs not-sent — like the paper's test client.  This drives
+the threaded runtime; the WAN-scale figure experiments use the simulated
+twin (:mod:`repro.simnet`-based harness in :mod:`repro.experiments`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ReproError, SoapFaultError, TransportError
+from repro.rt.client import HttpClient
+from repro.soap import Envelope
+from repro.transport.base import Connector
+from repro.util.stats import OnlineStats
+from repro.workload.echo import make_echo_request
+from repro.workload.results import RunResult
+
+
+@dataclass
+class RampConfig:
+    """One run: client count, duration, and connection behaviour."""
+
+    clients: int = 10
+    duration: float = 1.0
+    connect_timeout: float = 2.0
+    response_timeout: float = 5.0
+    #: optional per-request pacing (seconds between sends per client)
+    think_time: float = 0.0
+
+
+class RampTestClient:
+    """Ramping echo load generator for the threaded runtime."""
+
+    def __init__(
+        self,
+        connector: Connector,
+        target_url: str,
+        make_envelope: Callable[[], Envelope] | None = None,
+    ) -> None:
+        self.connector = connector
+        self.target_url = target_url
+        self.make_envelope = make_envelope or make_echo_request
+
+    def run(self, config: RampConfig) -> RunResult:
+        """Run one measurement at ``config.clients`` concurrent clients."""
+        result = RunResult(clients=config.clients, duration=config.duration)
+        lock = threading.Lock()
+        start_barrier = threading.Barrier(config.clients + 1)
+        stop_at = [0.0]
+
+        def client_loop() -> None:
+            http = HttpClient(
+                self.connector,
+                connect_timeout=config.connect_timeout,
+                response_timeout=config.response_timeout,
+                pool_per_endpoint=1,
+            )
+            local_tx = 0
+            local_lost = 0
+            local_err = 0
+            local_latency = OnlineStats()
+            try:
+                start_barrier.wait(timeout=10)
+            except threading.BrokenBarrierError:
+                return
+            while time.monotonic() < stop_at[0]:
+                envelope = self.make_envelope()
+                t0 = time.monotonic()
+                try:
+                    reply = http.call_soap(self.target_url, envelope)
+                    if reply is not None and reply.is_fault():
+                        local_err += 1
+                    else:
+                        local_tx += 1
+                        local_latency.add(time.monotonic() - t0)
+                except TransportError:
+                    local_lost += 1
+                except (SoapFaultError, ReproError):
+                    local_err += 1
+                if config.think_time > 0:
+                    time.sleep(config.think_time)
+            http.close()
+            with lock:
+                result.transmitted += local_tx
+                result.not_sent += local_lost
+                result.errors += local_err
+                result.latency.merge(local_latency)
+
+        threads = [
+            threading.Thread(target=client_loop, name=f"ramp-{i}", daemon=True)
+            for i in range(config.clients)
+        ]
+        for t in threads:
+            t.start()
+        stop_at[0] = time.monotonic() + config.duration
+        start_barrier.wait(timeout=10)
+        for t in threads:
+            t.join(timeout=config.duration + 15)
+        return result
+
+    def sweep(self, client_counts: list[int], duration: float) -> list[RunResult]:
+        """Ramp across client counts (one RunResult per count)."""
+        return [
+            self.run(RampConfig(clients=n, duration=duration))
+            for n in client_counts
+        ]

@@ -1,0 +1,29 @@
+"""WS-Addressing (August 2004 member submission, as used by the paper).
+
+Provides endpoint references, the message-information header block
+(To/From/ReplyTo/FaultTo/Action/MessageID/RelatesTo), attachment to and
+extraction from SOAP envelopes, and the pure rewrite rules the
+MSG-Dispatcher applies when forwarding (retarget ``To`` to the physical
+address, point ``ReplyTo`` back at the dispatcher or at a mailbox).
+"""
+
+from repro.wsa.constants import WSA_NS, WSA_ANONYMOUS
+from repro.wsa.epr import EndpointReference
+from repro.wsa.headers import AddressingHeaders
+from repro.wsa.rules import (
+    RewriteResult,
+    rewrite_for_forwarding,
+    make_reply_headers,
+    relates_to_of,
+)
+
+__all__ = [
+    "WSA_NS",
+    "WSA_ANONYMOUS",
+    "EndpointReference",
+    "AddressingHeaders",
+    "RewriteResult",
+    "rewrite_for_forwarding",
+    "make_reply_headers",
+    "relates_to_of",
+]

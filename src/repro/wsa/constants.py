@@ -1,0 +1,13 @@
+"""WS-Addressing namespace constants (2004/08 member submission)."""
+
+#: The namespace of the August 2004 W3C member submission referenced by the
+#: paper ("W3C member submission. web services addressing, August 2004").
+WSA_NS = "http://schemas.xmlsoap.org/ws/2004/08/addressing"
+
+#: The anonymous endpoint URI: "reply on the same connection" (SOAP-RPC
+#: semantics) or "no addressable endpoint" — exactly the situation of the
+#: firewalled clients the paper's WS-MsgBox serves.
+WSA_ANONYMOUS = f"{WSA_NS}/role/anonymous"
+
+#: Fault action URI used on dispatcher-generated fault messages.
+WSA_FAULT_ACTION = f"{WSA_NS}/fault"

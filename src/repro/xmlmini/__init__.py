@@ -1,0 +1,32 @@
+"""Minimal XML infoset: qualified names, element trees, writer, parser.
+
+SOAP and WS-Addressing only need a well-formed subset of XML 1.0 with
+namespaces: elements, attributes, character data, comments, and processing
+instructions (skipped).  We implement that subset from scratch — parser,
+namespace resolution, and canonical-ish writer — so the SOAP stack has no
+dependency beyond the standard library and its behaviour under malformed
+input is fully specified by our own tests.
+
+Public entry points:
+
+>>> from repro.xmlmini import Element, QName, parse, serialize
+>>> e = parse('<a xmlns="urn:x"><b>hi</b></a>')
+>>> e.name
+QName('urn:x', 'a')
+>>> serialize(Element(QName(None, 'r'), text='ok'))
+'<r>ok</r>'
+"""
+
+from repro.xmlmini.names import QName, split_prefixed
+from repro.xmlmini.node import Element
+from repro.xmlmini.writer import serialize, write_document
+from repro.xmlmini.parser import parse
+
+__all__ = [
+    "QName",
+    "split_prefixed",
+    "Element",
+    "serialize",
+    "write_document",
+    "parse",
+]

@@ -1,0 +1,86 @@
+"""Qualified names and namespace utilities for the mini XML infoset."""
+
+from __future__ import annotations
+
+from repro.errors import XmlError
+
+XMLNS_NS = "http://www.w3.org/2000/xmlns/"
+XML_NS = "http://www.w3.org/XML/1998/namespace"
+
+_NAME_START = (
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_"
+)
+_NAME_CHARS = _NAME_START + "0123456789.-"
+
+
+def is_ncname(name: str) -> bool:
+    """True when ``name`` is a valid no-colon XML name (ASCII subset).
+
+    SOAP element names are all ASCII; we accept non-ASCII letters too since
+    Python's ``str.isalpha`` covers the XML letter classes closely enough
+    for the documents this library produces and consumes.
+    """
+    if not name:
+        return False
+    first = name[0]
+    if not (first in _NAME_START or (not first.isascii() and first.isalpha())):
+        return False
+    for ch in name[1:]:
+        if ch in _NAME_CHARS:
+            continue
+        if not ch.isascii() and (ch.isalpha() or ch.isdigit()):
+            continue
+        return False
+    return True
+
+
+def split_prefixed(name: str) -> tuple[str | None, str]:
+    """Split ``prefix:local`` into (prefix, local); prefix None if absent."""
+    prefix, sep, local = name.partition(":")
+    if not sep:
+        return None, name
+    if not prefix or not local or ":" in local:
+        raise XmlError(f"malformed qualified name {name!r}")
+    return prefix, local
+
+
+class QName:
+    """An expanded XML name: (namespace URI or None, local part).
+
+    Hashable and comparable so it can key header-lookup dicts.
+    """
+
+    __slots__ = ("ns", "local")
+
+    def __init__(self, ns: str | None, local: str) -> None:
+        if not is_ncname(local):
+            raise XmlError(f"invalid local name {local!r}")
+        if ns is not None and not ns:
+            raise XmlError("namespace URI must be None or non-empty")
+        self.ns = ns
+        self.local = local
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, QName):
+            return self.ns == other.ns and self.local == other.local
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.ns, self.local))
+
+    def __repr__(self) -> str:
+        return f"QName({self.ns!r}, {self.local!r})"
+
+    def clark(self) -> str:
+        """Clark notation ``{ns}local`` (or bare local when unnamespaced)."""
+        return f"{{{self.ns}}}{self.local}" if self.ns else self.local
+
+    @classmethod
+    def from_clark(cls, text: str) -> "QName":
+        """Parse Clark notation produced by :meth:`clark`."""
+        if text.startswith("{"):
+            ns, sep, local = text[1:].partition("}")
+            if not sep:
+                raise XmlError(f"malformed Clark name {text!r}")
+            return cls(ns or None, local)
+        return cls(None, text)

@@ -1,0 +1,291 @@
+"""Recursive-descent XML parser for the mini infoset.
+
+Supports the subset SOAP documents use: the XML declaration, elements,
+attributes, namespace declarations (default and prefixed), character data
+with the five predefined entities plus numeric character references,
+comments, CDATA sections, and processing instructions (skipped).  DOCTYPE
+is rejected outright — there is no reason for a SOAP endpoint to accept
+DTDs, and rejecting them closes the classic entity-expansion attacks.
+
+The parser works on a single string with an index cursor; it is O(n) in
+the document size and allocates only the resulting tree.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XmlParseError
+from repro.xmlmini.names import QName, XMLNS_NS, is_ncname, split_prefixed
+from repro.xmlmini.node import Element
+
+_ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "apos": "'", "quot": '"'}
+_WS = " \t\r\n"
+
+
+def parse(document: str | bytes) -> Element:
+    """Parse an XML document and return the root element.
+
+    Raises :class:`~repro.errors.XmlParseError` on malformed input.
+    """
+    if isinstance(document, bytes):
+        try:
+            document = document.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise XmlParseError(f"document is not valid UTF-8: {exc}") from None
+    return _Parser(document).parse_document()
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.n = len(text)
+
+    # -- error helpers -----------------------------------------------------
+    def fail(self, message: str) -> XmlParseError:
+        line = self.text.count("\n", 0, self.pos) + 1
+        return XmlParseError(message, pos=self.pos, line=line)
+
+    # -- low-level cursor ---------------------------------------------------
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < self.n else ""
+
+    def startswith(self, token: str) -> bool:
+        return self.text.startswith(token, self.pos)
+
+    def expect(self, token: str) -> None:
+        if not self.startswith(token):
+            raise self.fail(f"expected {token!r}")
+        self.pos += len(token)
+
+    def skip_ws(self) -> None:
+        while self.pos < self.n and self.text[self.pos] in _WS:
+            self.pos += 1
+
+    def read_until(self, token: str, what: str) -> str:
+        end = self.text.find(token, self.pos)
+        if end < 0:
+            raise self.fail(f"unterminated {what}")
+        chunk = self.text[self.pos : end]
+        self.pos = end + len(token)
+        return chunk
+
+    def read_name(self) -> str:
+        start = self.pos
+        while self.pos < self.n and self.text[self.pos] not in " \t\r\n=/>\"'<":
+            self.pos += 1
+        name = self.text[start : self.pos]
+        if not name:
+            raise self.fail("expected a name")
+        return name
+
+    # -- document ------------------------------------------------------------
+    def parse_document(self) -> Element:
+        self._skip_prolog()
+        if self.peek() != "<":
+            raise self.fail("expected root element")
+        root = self.parse_element({None: None, "xml": "xml-ns"})
+        # trailing misc
+        while True:
+            self.skip_ws()
+            if self.pos >= self.n:
+                return root
+            if self.startswith("<!--"):
+                self._skip_comment()
+            elif self.startswith("<?"):
+                self._skip_pi()
+            else:
+                raise self.fail("content after document element")
+
+    def _skip_prolog(self) -> None:
+        if self.startswith("﻿"):
+            self.pos += 1
+        if self.startswith("<?xml"):
+            self._skip_pi()
+        while True:
+            self.skip_ws()
+            if self.startswith("<!--"):
+                self._skip_comment()
+            elif self.startswith("<?"):
+                self._skip_pi()
+            elif self.startswith("<!DOCTYPE"):
+                raise self.fail("DOCTYPE is not allowed")
+            else:
+                return
+
+    def _skip_comment(self) -> None:
+        self.expect("<!--")
+        body = self.read_until("-->", "comment")
+        if "--" in body:
+            raise self.fail("'--' not allowed inside comment")
+
+    def _skip_pi(self) -> None:
+        self.expect("<?")
+        self.read_until("?>", "processing instruction")
+
+    # -- elements -----------------------------------------------------------
+    def parse_element(self, ns_scope: dict[str | None, str | None]) -> Element:
+        """Parse one element; ``ns_scope`` maps prefix (None = default) to
+        namespace URI (None = no namespace)."""
+        self.expect("<")
+        raw_name = self.read_name()
+        attrs_raw: list[tuple[str, str]] = []
+        while True:
+            before = self.pos
+            self.skip_ws()
+            if self.peek() in ("/", ">"):
+                break
+            if self.pos == before:
+                raise self.fail("expected whitespace before attribute")
+            aname = self.read_name()
+            self.skip_ws()
+            self.expect("=")
+            self.skip_ws()
+            attrs_raw.append((aname, self._read_attr_value()))
+
+        # namespace scope for this element
+        scope = ns_scope
+        decls: dict[str | None, str | None] = {}
+        for aname, avalue in attrs_raw:
+            if aname == "xmlns":
+                decls[None] = avalue or None
+            elif aname.startswith("xmlns:"):
+                prefix = aname[6:]
+                if not is_ncname(prefix):
+                    raise self.fail(f"bad namespace prefix {prefix!r}")
+                if not avalue:
+                    raise self.fail("prefixed namespace cannot be undeclared")
+                decls[prefix] = avalue
+        if decls:
+            scope = {**ns_scope, **decls}
+
+        name = self._expand(raw_name, scope, is_attr=False)
+        el = Element(name)
+        seen_attrs: set[QName] = set()
+        for aname, avalue in attrs_raw:
+            if aname == "xmlns" or aname.startswith("xmlns:"):
+                continue
+            q = self._expand(aname, scope, is_attr=True)
+            if q in seen_attrs:
+                raise self.fail(f"duplicate attribute {aname!r}")
+            seen_attrs.add(q)
+            el.attrs[q] = avalue
+
+        if self.peek() == "/":
+            self.expect("/>")
+            return el
+        self.expect(">")
+        self._parse_content(el, scope)
+        self.expect("</")
+        closing = self.read_name()
+        if closing != raw_name:
+            raise self.fail(
+                f"mismatched end tag: expected </{raw_name}>, got </{closing}>"
+            )
+        self.skip_ws()
+        self.expect(">")
+        return el
+
+    def _parse_content(
+        self, el: Element, scope: dict[str | None, str | None]
+    ) -> None:
+        buf: list[str] = []
+
+        def flush() -> None:
+            if buf:
+                el.children.append("".join(buf))
+                buf.clear()
+
+        while True:
+            if self.pos >= self.n:
+                raise self.fail(f"unterminated element <{el.name.local}>")
+            ch = self.text[self.pos]
+            if ch == "<":
+                if self.startswith("</"):
+                    flush()
+                    return
+                if self.startswith("<!--"):
+                    self._skip_comment()
+                elif self.startswith("<![CDATA["):
+                    self.expect("<![CDATA[")
+                    buf.append(self.read_until("]]>", "CDATA section"))
+                elif self.startswith("<?"):
+                    self._skip_pi()
+                else:
+                    flush()
+                    el.children.append(self.parse_element(scope))
+            elif ch == "&":
+                buf.append(self._read_reference())
+            else:
+                start = self.pos
+                while self.pos < self.n and self.text[self.pos] not in "<&":
+                    self.pos += 1
+                buf.append(self.text[start : self.pos])
+
+    # -- tokens ----------------------------------------------------------------
+    def _read_attr_value(self) -> str:
+        quote = self.peek()
+        if quote not in ("'", '"'):
+            raise self.fail("attribute value must be quoted")
+        self.pos += 1
+        buf: list[str] = []
+        while True:
+            if self.pos >= self.n:
+                raise self.fail("unterminated attribute value")
+            ch = self.text[self.pos]
+            if ch == quote:
+                self.pos += 1
+                return "".join(buf)
+            if ch == "<":
+                raise self.fail("'<' not allowed in attribute value")
+            if ch == "&":
+                buf.append(self._read_reference())
+            else:
+                buf.append(ch)
+                self.pos += 1
+
+    def _read_reference(self) -> str:
+        self.expect("&")
+        body = self.read_until(";", "entity reference")
+        if body.startswith("#x") or body.startswith("#X"):
+            try:
+                code = int(body[2:], 16)
+            except ValueError:
+                raise self.fail(f"bad character reference &{body};") from None
+        elif body.startswith("#"):
+            try:
+                code = int(body[1:])
+            except ValueError:
+                raise self.fail(f"bad character reference &{body};") from None
+        else:
+            if body not in _ENTITIES:
+                raise self.fail(f"unknown entity &{body};")
+            return _ENTITIES[body]
+        if not (0 < code <= 0x10FFFF) or 0xD800 <= code <= 0xDFFF:
+            raise self.fail(f"character reference &{body}; out of range")
+        return chr(code)
+
+    def _expand(
+        self, raw: str, scope: dict[str | None, str | None], is_attr: bool
+    ) -> QName:
+        try:
+            prefix, local = split_prefixed(raw)
+        except Exception:
+            raise self.fail(f"malformed name {raw!r}") from None
+        if not is_ncname(local) or (prefix is not None and not is_ncname(prefix)):
+            raise self.fail(f"invalid name {raw!r}")
+        if prefix is None:
+            # Unprefixed attributes are in no namespace (XML NS rec);
+            # unprefixed elements take the default namespace.
+            if is_attr:
+                return QName(None, local)
+            return QName(scope.get(None), local)
+        if prefix == "xml":
+            from repro.xmlmini.names import XML_NS
+
+            return QName(XML_NS, local)
+        if prefix == "xmlns":
+            return QName(XMLNS_NS, local)
+        ns = scope.get(prefix)
+        if ns is None:
+            raise self.fail(f"undeclared namespace prefix {prefix!r}")
+        return QName(ns, local)

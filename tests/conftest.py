@@ -1,0 +1,27 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simnet.kernel import Simulator
+from repro.simnet.topology import Network
+from repro.transport.inproc import InprocNetwork
+
+
+@pytest.fixture
+def inproc() -> InprocNetwork:
+    """A fresh in-process transport namespace."""
+    return InprocNetwork()
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh discrete-event simulator."""
+    return Simulator()
+
+
+@pytest.fixture
+def simnet(sim: Simulator) -> Network:
+    """A fresh simulated network on the ``sim`` fixture."""
+    return Network(sim)

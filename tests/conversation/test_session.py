@@ -1,0 +1,222 @@
+"""Tests for the conversation layer."""
+
+import pytest
+
+from repro.conversation import (
+    CONVERSATION_NS,
+    Conversation,
+    ConversationPeer,
+)
+from repro.conversation.session import Q_CONVERSATION_ID, Q_SEQ
+from repro.errors import ReproError
+from repro.msgbox import MailboxSecurity, MailboxStore, MsgBoxClient, MsgBoxService
+from repro.rt.client import HttpClient
+from repro.rt.server import HttpServer
+from repro.rt.service import SoapHttpApp
+from repro.util.clock import ManualClock
+from repro.xmlmini import Element, QName
+
+
+@pytest.fixture
+def post_office(inproc):
+    """One public WS-MsgBox service both peers use."""
+    msgbox = MsgBoxService(
+        MailboxStore(),
+        security=MailboxSecurity(b"po"),
+        base_url="http://po:8500/mailbox",
+    )
+    app = SoapHttpApp()
+    app.mount("/mailbox", msgbox)
+    server = HttpServer(inproc.listen("po:8500"), app.handle_request, workers=4).start()
+    yield "http://po:8500/mailbox"
+    server.stop()
+
+
+def make_peer(inproc, name, post_office_url) -> ConversationPeer:
+    http = HttpClient(inproc)
+    mailbox = MsgBoxClient(http, post_office_url)
+    mailbox.create()
+    peer = ConversationPeer(name, http, mailbox, clock=ManualClock())
+    return peer
+
+
+def body(text: str) -> Element:
+    return Element(QName("urn:app", "note"), text=text)
+
+
+class TestBasicExchange:
+    def test_two_peer_roundtrip(self, inproc, post_office):
+        alice = make_peer(inproc, "alice", post_office)
+        bob = make_peer(inproc, "bob", post_office)
+
+        conv = alice.start()
+        conv.send(body("hello bob"), to=bob.mailbox.epr())
+
+        bob.poll()
+        bob_conv = bob.conversation(conv.id)
+        received = bob_conv.receive(timeout=1.0)
+        assert received.envelope.body.text == "hello bob"
+        assert received.seq == 1
+
+        # bob replies using the learned remote EPR (no explicit `to`)
+        bob_conv.send(body("hello alice"))
+        alice.poll()
+        back = conv.receive(timeout=1.0)
+        assert back.envelope.body.text == "hello alice"
+
+    def test_first_send_requires_destination(self, inproc, post_office):
+        alice = make_peer(inproc, "alice", post_office)
+        conv = alice.start()
+        with pytest.raises(ReproError):
+            conv.send(body("to nowhere"))
+
+    def test_first_destination_remembered(self, inproc, post_office):
+        alice = make_peer(inproc, "alice", post_office)
+        bob = make_peer(inproc, "bob", post_office)
+        conv = alice.start()
+        conv.send(body("one"), to=bob.mailbox.epr())
+        conv.send(body("two"))  # no explicit `to` needed anymore
+        bob.poll()
+        bob_conv = bob.conversation(conv.id)
+        assert bob_conv.receive(timeout=1.0).envelope.body.text == "one"
+        assert bob_conv.receive(timeout=1.0).envelope.body.text == "two"
+
+    def test_multiple_concurrent_conversations(self, inproc, post_office):
+        alice = make_peer(inproc, "alice", post_office)
+        bob = make_peer(inproc, "bob", post_office)
+        convs = [alice.start() for _ in range(3)]
+        for i, conv in enumerate(convs):
+            conv.send(body(f"c{i}"), to=bob.mailbox.epr())
+        bob.poll()
+        assert len(bob.conversations()) == 3
+        texts = {
+            bob.conversation(c.id).receive(timeout=1.0).envelope.body.text
+            for c in convs
+        }
+        assert texts == {"c0", "c1", "c2"}
+
+    def test_relates_to_chains_turns(self, inproc, post_office):
+        alice = make_peer(inproc, "alice", post_office)
+        bob = make_peer(inproc, "bob", post_office)
+        conv = alice.start()
+        first_id = conv.send(body("turn 1"), to=bob.mailbox.epr())
+        bob.poll()
+        bob_conv = bob.conversation(conv.id)
+        bob_conv.receive(timeout=1.0)
+        bob_conv.send(body("turn 2"))
+        alice.poll()
+        reply = conv.receive(timeout=1.0)
+        from repro.wsa import AddressingHeaders
+
+        headers = AddressingHeaders.from_envelope(reply.envelope)
+        assert first_id in headers.relates_to
+
+    def test_receive_timeout(self, inproc, post_office):
+        alice = make_peer(inproc, "alice", post_office)
+        conv = alice.start()
+        with pytest.raises(TimeoutError):
+            conv.receive(timeout=0.2, poll_interval=0.05)
+
+
+class TestOrderingAndDedup:
+    def deliver_raw(self, peer, conversation_id, seq, text, message_id):
+        """Deposit a hand-built turn directly into the peer's mailbox."""
+        from repro.soap import Envelope
+        from repro.wsa import AddressingHeaders
+
+        env = Envelope(body(text))
+        AddressingHeaders(
+            to=peer.mailbox.epr().address,
+            message_id=message_id,
+            reply_to=peer.mailbox.epr(),
+        ).attach(env)
+        env.headers.append(Element(Q_CONVERSATION_ID, text=conversation_id))
+        env.headers.append(Element(Q_SEQ, text=str(seq)))
+        peer.http.post_envelope(peer.mailbox.epr().address, env)
+
+    def test_out_of_order_arrivals_released_in_order(self, inproc, post_office):
+        alice = make_peer(inproc, "alice", post_office)
+        self.deliver_raw(alice, "conv-1", 3, "third", "uuid:m3")
+        self.deliver_raw(alice, "conv-1", 1, "first", "uuid:m1")
+        self.deliver_raw(alice, "conv-1", 2, "second", "uuid:m2")
+        alice.poll()
+        conv = alice.conversation("conv-1")
+        assert conv.receive(timeout=1.0).envelope.body.text == "first"
+        assert conv.receive(timeout=1.0).envelope.body.text == "second"
+        assert conv.receive(timeout=1.0).envelope.body.text == "third"
+
+    def test_gap_blocks_later_messages(self, inproc, post_office):
+        alice = make_peer(inproc, "alice", post_office)
+        self.deliver_raw(alice, "conv-1", 2, "second", "uuid:m2")
+        alice.poll()
+        conv = alice.conversation("conv-1")
+        with pytest.raises(TimeoutError):
+            conv.receive(timeout=0.2)
+        assert conv.pending_out_of_order() == 1
+        self.deliver_raw(alice, "conv-1", 1, "first", "uuid:m1")
+        alice.poll()
+        assert conv.receive(timeout=1.0).envelope.body.text == "first"
+        assert conv.receive(timeout=1.0).envelope.body.text == "second"
+
+    def test_duplicate_message_id_dropped(self, inproc, post_office):
+        alice = make_peer(inproc, "alice", post_office)
+        self.deliver_raw(alice, "conv-1", 1, "once", "uuid:dup")
+        self.deliver_raw(alice, "conv-1", 1, "once again", "uuid:dup")
+        alice.poll()
+        conv = alice.conversation("conv-1")
+        assert conv.receive(timeout=1.0).envelope.body.text == "once"
+        with pytest.raises(TimeoutError):
+            conv.receive(timeout=0.2)
+        assert alice.duplicates_dropped == 1
+
+    def test_stale_seq_retransmission_dropped(self, inproc, post_office):
+        alice = make_peer(inproc, "alice", post_office)
+        self.deliver_raw(alice, "conv-1", 1, "v1", "uuid:a")
+        alice.poll()
+        alice.conversation("conv-1").receive(timeout=1.0)
+        # a different message id but an already-consumed sequence number
+        self.deliver_raw(alice, "conv-1", 1, "v1-retx", "uuid:b")
+        alice.poll()
+        with pytest.raises(TimeoutError):
+            alice.conversation("conv-1").receive(timeout=0.2)
+        assert alice.duplicates_dropped == 1
+
+    def test_non_conversation_traffic_ignored(self, inproc, post_office):
+        from repro.workload.echo import make_echo_message
+
+        alice = make_peer(inproc, "alice", post_office)
+        env = make_echo_message(
+            to=alice.mailbox.epr().address,
+            message_id="uuid:plain",
+            reply_to=alice.mailbox.epr(),
+        )
+        alice.http.post_envelope(alice.mailbox.epr().address, env)
+        assert alice.poll() == 0
+
+
+class TestPeerApi:
+    def test_start_rejects_duplicate_id(self, inproc, post_office):
+        alice = make_peer(inproc, "alice", post_office)
+        alice.start("fixed-id")
+        with pytest.raises(ReproError):
+            alice.start("fixed-id")
+
+    def test_long_conversation_sequences(self, inproc, post_office):
+        alice = make_peer(inproc, "alice", post_office)
+        bob = make_peer(inproc, "bob", post_office)
+        conv = alice.start()
+        conv.send(body("0"), to=bob.mailbox.epr())
+        bob.poll()
+        bob_conv = bob.conversation(conv.id)
+        bob_conv.receive(timeout=1.0)
+        # 20 more alternating turns
+        for i in range(1, 21):
+            if i % 2:
+                bob_conv.send(body(str(i)))
+                alice.poll()
+                msg = conv.receive(timeout=1.0)
+            else:
+                conv.send(body(str(i)))
+                bob.poll()
+                msg = bob_conv.receive(timeout=1.0)
+            assert msg.envelope.body.text == str(i)

@@ -1,0 +1,121 @@
+"""Tests for load-balancing policies and the dispatcher farm."""
+
+import pytest
+
+from repro.core.loadbalance import (
+    DispatcherFarm,
+    LeastPending,
+    RandomChoice,
+    RoundRobin,
+    make_policy,
+)
+from repro.core.registry import ServiceRegistry
+from repro.errors import RoutingError
+
+
+class TestPolicies:
+    def test_round_robin_cycles(self):
+        rr = RoundRobin()
+        addresses = ["a", "b", "c"]
+        picks = [rr.select(addresses) for _ in range(6)]
+        assert picks == ["a", "b", "c", "a", "b", "c"]
+
+    def test_random_seeded_reproducible(self):
+        a = RandomChoice(seed=1)
+        b = RandomChoice(seed=1)
+        addrs = ["x", "y", "z"]
+        assert [a.select(addrs) for _ in range(10)] == [
+            b.select(addrs) for _ in range(10)
+        ]
+
+    def test_least_pending_prefers_idle(self):
+        lp = LeastPending()
+        lp.on_start("a")
+        lp.on_start("a")
+        lp.on_start("b")
+        assert lp.select(["a", "b", "c"]) == "c"
+        lp.on_finish("a")
+        lp.on_finish("a")
+        assert lp.select(["a", "b"]) == "a"
+
+    def test_pending_never_negative(self):
+        lp = LeastPending()
+        lp.on_finish("a")
+        assert lp.pending("a") == 0
+
+    def test_pick_counts_tracked(self):
+        rr = RoundRobin()
+        reg = ServiceRegistry(selector=rr)
+        reg.register("svc", ["a", "b"])
+        for _ in range(4):
+            reg.resolve("svc")
+        assert rr.pick_counts == {"a": 2, "b": 2}
+
+    def test_make_policy_factory(self):
+        assert make_policy("round_robin").name == "round_robin"
+        assert make_policy("random", seed=1).name == "random"
+        assert make_policy("least_pending").name == "least_pending"
+        with pytest.raises(ValueError):
+            make_policy("bogus")
+
+
+class TestRegistryIntegration:
+    def test_round_robin_selector_spreads_resolves(self):
+        reg = ServiceRegistry(selector=RoundRobin())
+        reg.register("echo", ["http://a/", "http://b/"])
+        picks = {reg.resolve("echo") for _ in range(4)}
+        assert picks == {"http://a/", "http://b/"}
+
+
+class TestDispatcherFarm:
+    def test_requires_members(self):
+        with pytest.raises(RoutingError):
+            DispatcherFarm([])
+
+    def test_pick_cycles_members(self):
+        farm = DispatcherFarm(["d1", "d2"])
+        assert {farm.pick(), farm.pick()} == {"d1", "d2"}
+
+    def test_failover_skips_down_member(self):
+        farm = DispatcherFarm(["d1", "d2"])
+        farm.report_failure("d1")
+        assert all(farm.pick() == "d2" for _ in range(3))
+        assert farm.healthy_members == ["d2"]
+
+    def test_all_down_raises(self):
+        farm = DispatcherFarm(["d1"])
+        farm.report_failure("d1")
+        with pytest.raises(RoutingError):
+            farm.pick()
+
+    def test_revive(self):
+        farm = DispatcherFarm(["d1"])
+        farm.report_failure("d1")
+        farm.revive("d1")
+        assert farm.pick() == "d1"
+
+    def test_probe_all_updates_down_set(self):
+        farm = DispatcherFarm(["up", "down", "error"])
+
+        def probe(url):
+            if url == "error":
+                raise ConnectionError
+            return url == "up"
+
+        results = farm.probe_all(probe)
+        assert results == {"up": True, "down": False, "error": False}
+        assert farm.healthy_members == ["up"]
+
+    def test_least_pending_farm_prefers_fast_member(self):
+        farm = DispatcherFarm(["fast", "slow"], policy=LeastPending())
+        # simulate: slow member accumulates in-flight requests
+        slow_picks = 0
+        in_flight = []
+        for _ in range(20):
+            url = farm.pick()
+            if url == "slow":
+                slow_picks += 1
+                in_flight.append(url)  # never finishes
+            else:
+                farm.finish(url)
+        assert slow_picks <= 2  # once pending, slow stops being chosen

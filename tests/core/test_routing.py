@@ -1,0 +1,45 @@
+"""Tests for logical-address extraction."""
+
+import pytest
+
+from repro.core.routing import extract_logical, logical_uri
+from repro.errors import RoutingError
+
+
+def test_logical_uri():
+    assert logical_uri("echo") == "urn:wsd:echo"
+    with pytest.raises(RoutingError):
+        logical_uri("")
+
+
+@pytest.mark.parametrize(
+    "address,prefix,expected",
+    [
+        ("urn:wsd:echo", None, "echo"),
+        ("urn:wsd:my-service", "/rpc", "my-service"),
+        ("/rpc/echo", "/rpc", "echo"),
+        ("/rpc/echo/extra/path", "/rpc", "echo"),
+        ("/msg/echo?query=1", "/msg", "echo"),
+        ("http://wsd:8000/rpc/echo", "/rpc", "echo"),
+        ("http://wsd:8000/echo", None, "echo"),
+        ("/echo", None, "echo"),
+    ],
+)
+def test_extract_logical(address, prefix, expected):
+    assert extract_logical(address, prefix) == expected
+
+
+@pytest.mark.parametrize(
+    "address,prefix",
+    [
+        ("urn:wsd:", None),
+        ("/rpc", "/rpc"),
+        ("/other/echo", "/rpc"),
+        ("not-a-path", None),
+        ("http://wsd:8000/", None),
+        ("http://wsd:8000", "/rpc"),
+    ],
+)
+def test_extract_logical_failures(address, prefix):
+    with pytest.raises(RoutingError):
+        extract_logical(address, prefix)

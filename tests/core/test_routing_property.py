@@ -1,0 +1,28 @@
+"""Property tests for logical-address routing."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.routing import extract_logical, logical_uri
+
+_names = st.from_regex(r"[A-Za-z][A-Za-z0-9._-]{0,20}", fullmatch=True)
+
+
+@given(_names)
+@settings(max_examples=200, deadline=None)
+def test_logical_uri_extract_inverse(name):
+    assert extract_logical(logical_uri(name)) == name
+
+
+@given(_names, st.sampled_from(["/rpc", "/msg", "/bridge"]))
+@settings(max_examples=200, deadline=None)
+def test_path_form_extract_inverse(name, prefix):
+    assert extract_logical(f"{prefix}/{name}", prefix) == name
+    assert extract_logical(f"{prefix}/{name}/extra/segments", prefix) == name
+    assert extract_logical(f"{prefix}/{name}?q=1", prefix) == name
+
+
+@given(_names, st.integers(1, 65535))
+@settings(max_examples=100, deadline=None)
+def test_url_form_extract_inverse(name, port):
+    url = f"http://dispatcher.example:{port}/rpc/{name}"
+    assert extract_logical(url, "/rpc") == name

@@ -1,0 +1,247 @@
+"""Tests for the simulated dispatchers."""
+
+import pytest
+
+from repro.core.registry import ServiceRegistry
+from repro.core.sim_dispatcher import (
+    SimMsgDispatcher,
+    SimMsgDispatcherConfig,
+    SimRpcDispatcher,
+)
+from repro.http import Headers, HttpRequest
+from repro.msgbox import MailboxStore, MsgBoxService
+from repro.msgbox.service import make_mailbox_epr
+from repro.rt.service import SoapHttpApp
+from repro.simnet.httpsim import SimHttpServer, sim_http_request
+from repro.simnet.kernel import Simulator
+from repro.simnet.services import SimAsyncEchoService
+from repro.simnet.topology import AccessLink, Network
+from repro.soap import Envelope, parse_rpc_response
+from repro.soap.constants import SOAP11_CONTENT_TYPE
+from repro.util.ids import IdGenerator
+from repro.workload.echo import EchoService, make_echo_message, make_echo_request
+
+
+@pytest.fixture
+def world(sim):
+    net = Network(sim)
+    link = AccessLink(5000, 5000, 0.005)
+    client = net.add_host("client", link)
+    ws_host = net.add_host("ws", link)
+    wsd_host = net.add_host("wsd", link)
+    registry = ServiceRegistry()
+    return net, client, ws_host, wsd_host, registry
+
+
+def soap_post(path: str, body: bytes) -> HttpRequest:
+    headers = Headers()
+    headers.set("Content-Type", SOAP11_CONTENT_TYPE)
+    return HttpRequest("POST", path, headers=headers, body=body)
+
+
+class TestSimRpcDispatcher:
+    def test_forwards_and_returns_response(self, world):
+        net, client, ws_host, wsd_host, registry = world
+        sim = net.sim
+        app = SoapHttpApp()
+        app.mount("/echo", EchoService())
+        SimHttpServer(net, ws_host, 9000, lambda r: app.handle_request(r, None))
+        registry.register("echo", "http://ws:9000/echo")
+        disp = SimRpcDispatcher(net, wsd_host, registry)
+        SimHttpServer(net, wsd_host, 8000, disp.handler)
+
+        def call():
+            resp = yield from sim_http_request(
+                net, client, "wsd", 8000,
+                soap_post("/rpc/echo", make_echo_request().to_bytes()),
+            )
+            return resp
+
+        resp = sim.run(sim.process(call()))
+        assert resp.status == 200
+        parsed = parse_rpc_response(Envelope.from_bytes(resp.body))
+        assert parsed.result("return") is not None
+        assert disp.stats["forwarded"] == 1
+
+    def test_unknown_service_404(self, world):
+        net, client, ws_host, wsd_host, registry = world
+        sim = net.sim
+        disp = SimRpcDispatcher(net, wsd_host, registry)
+        SimHttpServer(net, wsd_host, 8000, disp.handler)
+
+        def call():
+            resp = yield from sim_http_request(
+                net, client, "wsd", 8000,
+                soap_post("/rpc/ghost", make_echo_request().to_bytes()),
+            )
+            return resp.status
+
+        assert sim.run(sim.process(call())) == 404
+
+    def test_unreachable_backend_502(self, world):
+        net, client, ws_host, wsd_host, registry = world
+        sim = net.sim
+        registry.register("dead", "http://ws:9999/dead")
+        disp = SimRpcDispatcher(net, wsd_host, registry, connect_timeout=1.0)
+        SimHttpServer(net, wsd_host, 8000, disp.handler)
+
+        def call():
+            resp = yield from sim_http_request(
+                net, client, "wsd", 8000,
+                soap_post("/rpc/dead", make_echo_request().to_bytes()),
+                response_timeout=30.0,
+            )
+            return resp.status
+
+        assert sim.run(sim.process(call())) == 502
+
+
+@pytest.fixture
+def msg_world(world):
+    net, client, ws_host, wsd_host, registry = world
+    sim = net.sim
+    echo = SimAsyncEchoService(net, ws_host, reply_senders=8)
+    SimHttpServer(net, ws_host, 9000, echo.handler)
+    registry.register("echo", "http://ws:9000/echo")
+    config = SimMsgDispatcherConfig(
+        cx_workers=2, ws_workers=4, destination_idle_ttl=0.5,
+        shed_on_full=True,
+        passthrough_reply_prefixes=("http://wsd:8500/mailbox",),
+    )
+    disp = SimMsgDispatcher(
+        net, wsd_host, registry, own_address="http://wsd:8000/msg", config=config
+    )
+    SimHttpServer(net, wsd_host, 8000, disp.handler)
+    store = MailboxStore(clock=sim.clock)
+    msgbox = MsgBoxService(store, base_url="http://wsd:8500/mailbox")
+    app = SoapHttpApp()
+    app.mount("/mailbox", msgbox)
+    SimHttpServer(net, wsd_host, 8500, lambda r: app.handle_request(r, None))
+    return net, client, registry, disp, store, echo
+
+
+class TestSimMsgDispatcher:
+    def test_one_way_forwarded(self, msg_world):
+        net, client, registry, disp, store, echo = msg_world
+        sim = net.sim
+        ids = IdGenerator("t", seed=1)
+
+        def send():
+            msg = make_echo_message(to="urn:wsd:echo", message_id=ids.next())
+            resp = yield from sim_http_request(
+                net, client, "wsd", 8000, soap_post("/msg/echo", msg.to_bytes())
+            )
+            return resp.status
+
+        assert sim.run(sim.process(send())) == 202
+        sim.run(until=sim.now + 5.0)
+        assert echo.stats["received"] == 1
+        assert disp.stats["delivered"] == 1
+
+    def test_response_deposited_directly_to_mailbox(self, msg_world):
+        """Passthrough: the WS replies straight to the co-located mailbox."""
+        net, client, registry, disp, store, echo = msg_world
+        sim = net.sim
+        ids = IdGenerator("t", seed=2)
+        mailbox_id = store.create()
+        epr = make_mailbox_epr("http://wsd:8500/mailbox", mailbox_id)
+
+        def send():
+            msg = make_echo_message(
+                to="urn:wsd:echo", message_id=ids.next(), reply_to=epr
+            )
+            yield from sim_http_request(
+                net, client, "wsd", 8000, soap_post("/msg/echo", msg.to_bytes())
+            )
+
+        sim.run(sim.process(send()))
+        sim.run(until=sim.now + 5.0)
+        assert store.peek_count(mailbox_id) == 1
+        # no relay hop: dispatcher routed zero responses
+        assert disp.stats.get("routed_responses", 0) == 0
+        assert echo.stats["replies_sent"] == 1
+
+    def test_response_relayed_without_passthrough(self, msg_world):
+        net, client, registry, disp, store, echo = msg_world
+        sim = net.sim
+        disp.config.passthrough_reply_prefixes = ()
+        ids = IdGenerator("t", seed=3)
+        mailbox_id = store.create()
+        epr = make_mailbox_epr("http://wsd:8500/mailbox", mailbox_id)
+
+        def send():
+            msg = make_echo_message(
+                to="urn:wsd:echo", message_id=ids.next(), reply_to=epr
+            )
+            yield from sim_http_request(
+                net, client, "wsd", 8000, soap_post("/msg/echo", msg.to_bytes())
+            )
+
+        sim.run(sim.process(send()))
+        sim.run(until=sim.now + 5.0)
+        assert store.peek_count(mailbox_id) == 1
+        assert disp.stats.get("routed_responses") == 1
+
+    def test_shed_on_full_returns_503(self, msg_world):
+        net, client, registry, disp, store, echo = msg_world
+        sim = net.sim
+        disp.config.shed_on_full = True
+        # replace accept store with a zero-capacity... smallest is 1
+        from repro.simnet.resources import Store
+
+        disp._accept = Store(sim, capacity=1)
+        disp._accept.try_put(("blocker", "/msg/echo"))
+        ids = IdGenerator("t", seed=4)
+
+        def send():
+            msg = make_echo_message(to="urn:wsd:echo", message_id=ids.next())
+            resp = yield from sim_http_request(
+                net, client, "wsd", 8000, soap_post("/msg/echo", msg.to_bytes())
+            )
+            return resp.status
+
+        # cx workers may consume the blocker tuple; stop them first
+        disp._running = False
+        assert sim.run(sim.process(send())) in (503, 202)
+
+    def test_bridge_returns_response_inband(self, msg_world):
+        net, client, registry, disp, store, echo = msg_world
+        sim = net.sim
+        SimHttpServer(
+            net, net.host("wsd"), 8100,
+            lambda req: disp.bridge_handler(req, bridge_timeout=10.0),
+        )
+
+        def call():
+            resp = yield from sim_http_request(
+                net, client, "wsd", 8100,
+                soap_post("/bridge/echo", make_echo_request().to_bytes()),
+                response_timeout=20.0,
+            )
+            return resp
+
+        resp = sim.run(sim.process(call()))
+        assert resp.status == 200
+        parsed = parse_rpc_response(Envelope.from_bytes(resp.body))
+        assert parsed.result("return") is not None
+        assert disp.stats.get("bridged_responses") == 1
+
+    def test_bridge_timeout_504(self, msg_world):
+        net, client, registry, disp, store, echo = msg_world
+        sim = net.sim
+        registry.register("void", "http://ws:9998/void")  # nothing listening
+        SimHttpServer(
+            net, net.host("wsd"), 8100,
+            lambda req: disp.bridge_handler(req, bridge_timeout=2.0),
+        )
+
+        def call():
+            resp = yield from sim_http_request(
+                net, client, "wsd", 8100,
+                soap_post("/bridge/void", make_echo_request().to_bytes()),
+                response_timeout=30.0,
+            )
+            return resp.status
+
+        assert sim.run(sim.process(call())) == 504
+        assert disp.stats.get("bridge_timeouts") == 1

@@ -1,0 +1,98 @@
+"""Tests for the single sign-on gate."""
+
+import pytest
+
+from repro.core.sso import SsoGate, TokenIssuer, attach_token
+from repro.errors import AuthError
+from repro.util.clock import ManualClock
+from repro.workload.echo import make_echo_request
+
+
+@pytest.fixture
+def issuer():
+    iss = TokenIssuer(b"test-secret", token_ttl=60.0, clock=ManualClock())
+    iss.add_principal("alice", "wonderland")
+    iss.add_principal("bob", "builder")
+    return iss
+
+
+class TestTokenIssuer:
+    def test_login_and_verify(self, issuer):
+        token = issuer.login("alice", "wonderland")
+        assert issuer.verify(token) == "alice"
+
+    def test_bad_password(self, issuer):
+        with pytest.raises(AuthError):
+            issuer.login("alice", "wrong")
+
+    def test_unknown_principal(self, issuer):
+        with pytest.raises(AuthError):
+            issuer.login("mallory", "x")
+
+    def test_tampered_token_rejected(self, issuer):
+        token = issuer.login("alice", "wonderland")
+        tampered = token.replace("alice", "admin")
+        with pytest.raises(AuthError):
+            issuer.verify(tampered)
+
+    def test_malformed_token_rejected(self, issuer):
+        for bad in ("", "a|b", "a|b|c|d", "x|notafloat|deadbeef"):
+            with pytest.raises(AuthError):
+                issuer.verify(bad)
+
+    def test_token_expiry(self):
+        clock = ManualClock()
+        issuer = TokenIssuer(b"s", token_ttl=10.0, clock=clock)
+        issuer.add_principal("a", "p")
+        token = issuer.login("a", "p")
+        clock.advance(11.0)
+        with pytest.raises(AuthError):
+            issuer.verify(token)
+
+    def test_foreign_issuer_rejected(self, issuer):
+        other = TokenIssuer(b"different-secret")
+        other.add_principal("alice", "wonderland")
+        token = other.login("alice", "wonderland")
+        with pytest.raises(AuthError):
+            issuer.verify(token)
+
+    def test_empty_secret_rejected(self):
+        with pytest.raises(ValueError):
+            TokenIssuer(b"")
+
+
+class TestSsoGate:
+    def test_open_service_anonymous_ok(self, issuer):
+        gate = SsoGate(issuer)
+        assert gate.check(make_echo_request(), "echo") is None
+
+    def test_restricted_service_requires_token(self, issuer):
+        gate = SsoGate(issuer)
+        gate.restrict("echo", ["alice"])
+        with pytest.raises(AuthError):
+            gate.check(make_echo_request(), "echo")
+
+    def test_authorized_principal_passes(self, issuer):
+        gate = SsoGate(issuer)
+        gate.restrict("echo", ["alice"])
+        env = attach_token(make_echo_request(), issuer.login("alice", "wonderland"))
+        assert gate.check(env, "echo") == "alice"
+
+    def test_unauthorized_principal_rejected(self, issuer):
+        gate = SsoGate(issuer)
+        gate.restrict("echo", ["alice"])
+        env = attach_token(make_echo_request(), issuer.login("bob", "builder"))
+        with pytest.raises(AuthError):
+            gate.check(env, "echo")
+
+    def test_token_on_open_service_still_verified(self, issuer):
+        gate = SsoGate(issuer)
+        env = attach_token(make_echo_request(), "garbage-token")
+        with pytest.raises(AuthError):
+            gate.check(env, "unrestricted")
+
+    def test_gate_is_callable_inspector(self, issuer):
+        gate = SsoGate(issuer)
+        gate.restrict("echo", ["alice"])
+        env = attach_token(make_echo_request(), issuer.login("alice", "wonderland"))
+        gate(env, "echo")  # __call__ signature used by RpcDispatcher

@@ -1,0 +1,80 @@
+"""Tests for the operational status page."""
+
+import pytest
+
+from repro.core import RpcDispatcher, ServiceRegistry
+from repro.core.status import StatusPage
+from repro.http import HttpRequest
+from repro.msgbox import MailboxStore, MsgBoxService
+from repro.rt.client import HttpClient
+from repro.rt.server import HttpServer
+from repro.rt.service import SoapHttpApp
+from repro.workload.echo import EchoService, make_echo_request
+
+
+def test_add_requires_stats_or_callable():
+    page = StatusPage()
+    with pytest.raises(TypeError):
+        page.add("bogus", object())
+
+
+def test_snapshot_collects_all_sources():
+    page = StatusPage()
+    page.add("constant", lambda: {"a": 1})
+    page.add("msgbox", MsgBoxService(MailboxStore()))
+    snap = page.snapshot()
+    assert snap["constant"] == {"a": 1}
+    assert isinstance(snap["msgbox"], dict)
+
+
+def test_broken_source_reported_not_fatal():
+    page = StatusPage()
+    page.add("broken", lambda: 1 / 0)
+    page.add("fine", lambda: {"ok": 1})
+    snap = page.snapshot()
+    assert "error" in snap["broken"]
+    assert snap["fine"] == {"ok": 1}
+
+
+def test_render_text_shape():
+    page = StatusPage(title="t")
+    page.add("x", lambda: {"b": 2, "a": 1})
+    text = page.render_text()
+    assert text.startswith("# t\n[x]\n  a = 1\n  b = 2")
+
+
+def test_live_deployment_status(inproc):
+    """The status endpoint reflects real traffic counters."""
+    app = SoapHttpApp()
+    app.mount("/echo", EchoService())
+    ws = HttpServer(inproc.listen("ws:9000"), app.handle_request).start()
+
+    registry = ServiceRegistry()
+    registry.register("echo", "http://ws:9000/echo")
+    dispatcher = RpcDispatcher(registry, HttpClient(inproc))
+
+    page = StatusPage()
+    page.add("rpc-dispatcher", dispatcher)
+    page.add("registry", lambda: registry.stats)
+
+    front_app = SoapHttpApp()
+    front_app.mount_page("/status", page.page_handler)
+
+    def front(request, peer=None):
+        if request.target.startswith("/rpc"):
+            return dispatcher.handle_request(request, peer)
+        return front_app.handle_request(request, peer)
+
+    wsd = HttpServer(inproc.listen("wsd:8000"), front).start()
+    client = HttpClient(inproc)
+    for _ in range(3):
+        client.post_envelope("http://wsd:8000/rpc/echo", make_echo_request())
+
+    resp = client.request("http://wsd:8000/status", HttpRequest("GET", "/"))
+    text = resp.body.decode()
+    assert resp.status == 200
+    assert "forwarded = 3" in text
+    assert "lookups = 3" in text
+    ws.stop()
+    wsd.stop()
+    client.close()

@@ -1,0 +1,44 @@
+"""Tests for the ``python -m repro.experiments`` CLI."""
+
+import pytest
+
+from repro.experiments.__main__ import _parse_counts, main
+
+
+def test_parse_counts():
+    assert _parse_counts(None) is None
+    assert _parse_counts("") is None
+    assert _parse_counts("1,5, 10") == [1, 5, 10]
+
+
+def test_reliability_command(capsys):
+    assert main(["reliability"]) == 0
+    out = capsys.readouterr().out
+    assert "backoff x8" in out
+    assert "all shape checks passed" in out
+
+
+def test_msgbox_bug_command(capsys):
+    assert main(["msgbox-bug", "--clients", "5,60"]) == 0
+    out = capsys.readouterr().out
+    assert "thread-per-message" in out
+
+
+@pytest.mark.slow
+def test_fig5_command_with_plot(capsys):
+    assert main(["fig5", "--clients", "10,100", "--duration", "5", "--plot"]) == 0
+    out = capsys.readouterr().out
+    assert "messages/minute" in out
+    assert "|" in out  # the ASCII plot
+
+
+@pytest.mark.slow
+def test_table1_command(capsys):
+    assert main(["table1", "--clients", "5", "--duration", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "quadrant" in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["not-a-thing"])

@@ -1,0 +1,63 @@
+"""Tests for reason phrases and remaining wire-codec corners."""
+
+import pytest
+
+from repro.http import HttpRequest, reason_phrase
+from repro.http.wire import RequestParser, serialize_request
+
+
+@pytest.mark.parametrize(
+    "status,phrase",
+    [
+        (200, "OK"),
+        (202, "Accepted"),
+        (404, "Not Found"),
+        (503, "Service Unavailable"),
+    ],
+)
+def test_known_phrases(status, phrase):
+    assert reason_phrase(status) == phrase
+
+
+@pytest.mark.parametrize(
+    "status,phrase",
+    [
+        (199, "Informational"),
+        (299, "Success"),
+        (399, "Redirection"),
+        (499, "Client Error"),
+        (599, "Server Error"),
+    ],
+)
+def test_class_fallbacks(status, phrase):
+    assert reason_phrase(status) == phrase
+
+
+def test_http10_request_roundtrip():
+    wire = b"GET /legacy HTTP/1.0\r\nHost: old\r\n\r\n"
+    p = RequestParser()
+    p.feed(wire)
+    req = p.next_message()
+    assert req.version == "HTTP/1.0"
+    assert req.keep_alive is False
+
+
+def test_zero_length_chunked_body():
+    wire = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n"
+    p = RequestParser()
+    p.feed(wire)
+    assert p.next_message().body == b""
+
+
+def test_query_string_preserved_in_target():
+    req = HttpRequest("GET", "/path?x=1&y=2")
+    p = RequestParser()
+    p.feed(serialize_request(req))
+    assert p.next_message().target == "/path?x=1&y=2"
+
+
+def test_duplicate_identical_content_length_tolerated():
+    wire = b"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nhi"
+    p = RequestParser()
+    p.feed(wire)
+    assert p.next_message().body == b"hi"

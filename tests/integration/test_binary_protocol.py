@@ -1,0 +1,109 @@
+"""Integration tests: the binary-XML protocol extension end to end."""
+
+import pytest
+
+from repro.core import MsgDispatcher, MsgDispatcherConfig, ServiceRegistry
+from repro.errors import AuthError
+from repro.http import Headers, HttpRequest
+from repro.rt.client import HttpClient
+from repro.rt.server import HttpServer
+from repro.rt.service import SoapHttpApp
+from repro.soap import Envelope, parse_rpc_response
+from repro.soap.binxml import BINXML_CONTENT_TYPE, decode_envelope, encode_envelope
+from repro.util.ids import IdGenerator
+from repro.workload.echo import EchoService, make_echo_message, make_echo_request
+
+
+@pytest.fixture
+def binary_ws(inproc):
+    app = SoapHttpApp(accept_binary=True)
+    app.mount("/echo", EchoService())
+    server = HttpServer(inproc.listen("ws:9000"), app.handle_request).start()
+    yield server
+    server.stop()
+
+
+def binary_post(body: bytes) -> HttpRequest:
+    headers = Headers()
+    headers.set("Content-Type", BINXML_CONTENT_TYPE)
+    return HttpRequest("POST", "/", headers=headers, body=body)
+
+
+def test_binary_request_gets_binary_reply(inproc, binary_ws):
+    client = HttpClient(inproc)
+    wire = encode_envelope(make_echo_request())
+    resp = client.request("http://ws:9000/echo", binary_post(wire))
+    assert resp.status == 200
+    assert BINXML_CONTENT_TYPE in resp.headers.get("Content-Type")
+    reply = decode_envelope(resp.body)
+    assert parse_rpc_response(reply).result("return") is not None
+    client.close()
+
+
+def test_text_callers_unaffected(inproc, binary_ws):
+    client = HttpClient(inproc)
+    reply = client.call_soap("http://ws:9000/echo", make_echo_request())
+    assert parse_rpc_response(reply).result("return") is not None
+    client.close()
+
+
+def test_binary_smaller_on_the_wire(inproc, binary_ws):
+    env = make_echo_request()
+    assert len(encode_envelope(env)) < len(env.to_bytes())
+
+
+def test_binary_garbage_rejected_cleanly(inproc, binary_ws):
+    client = HttpClient(inproc)
+    resp = client.request(
+        "http://ws:9000/echo", binary_post(b"BX1\xff\xff\xff\xff\x7f")
+    )
+    assert resp.status == 400
+    client.close()
+
+
+def test_non_binary_app_rejects_binary(inproc):
+    app = SoapHttpApp()  # accept_binary off
+    app.mount("/echo", EchoService())
+    server = HttpServer(inproc.listen("plain:9100"), app.handle_request).start()
+    client = HttpClient(inproc)
+    wire = encode_envelope(make_echo_request())
+    resp = client.request("http://plain:9100/echo", binary_post(wire))
+    assert resp.status == 400
+    server.stop()
+    client.close()
+
+
+def test_msg_dispatcher_inspector_hook(inproc):
+    """The MSG-Dispatcher's 'message security inspection' rejects."""
+    registry = ServiceRegistry()
+    registry.register("echo", "http://nowhere:1/echo")
+    rejected = []
+
+    def inspector(envelope: Envelope, logical: str) -> None:
+        rejected.append(logical)
+        raise AuthError("inspection failed")
+
+    dispatcher = MsgDispatcher(
+        registry,
+        HttpClient(inproc),
+        own_address="http://wsd:8000/msg",
+        config=MsgDispatcherConfig(cx_threads=1, ws_threads=1),
+        inspector=inspector,
+    )
+    from repro.rt.service import RequestContext
+
+    ids = IdGenerator("insp", seed=1)
+    msg = make_echo_message(to="urn:wsd:echo", message_id=ids.next())
+    dispatcher.handle(msg, RequestContext(path="/msg/echo"))
+
+    import time
+
+    deadline = time.monotonic() + 3
+    while time.monotonic() < deadline:
+        if dispatcher.stats.get("rejected_by_inspector", 0) == 1:
+            break
+        time.sleep(0.02)
+    assert dispatcher.stats.get("rejected_by_inspector") == 1
+    assert rejected == ["echo"]
+    assert dispatcher.stats.get("delivered", 0) == 0
+    dispatcher.stop()

@@ -1,0 +1,121 @@
+"""Tests for WS-MsgBox long polling."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import MailboxNotFound
+from repro.msgbox import MailboxStore, MsgBoxClient, MsgBoxService
+from repro.msgbox.service import Q_MAILBOX_ID
+from repro.rt.client import HttpClient
+from repro.rt.server import HttpServer
+from repro.rt.service import RequestContext, SoapHttpApp
+from repro.workload.echo import make_echo_message
+from repro.xmlmini import Element
+
+
+class TestStoreWait:
+    def test_returns_immediately_when_message_present(self):
+        store = MailboxStore()
+        box = store.create()
+        store.deposit(box, b"x")
+        t0 = time.monotonic()
+        assert store.wait_for_message(box, timeout=5.0) is True
+        assert time.monotonic() - t0 < 0.1
+
+    def test_times_out_when_empty(self):
+        store = MailboxStore()
+        box = store.create()
+        t0 = time.monotonic()
+        assert store.wait_for_message(box, timeout=0.2) is False
+        assert 0.15 <= time.monotonic() - t0 < 1.0
+
+    def test_wakes_on_deposit_from_other_thread(self):
+        store = MailboxStore()
+        box = store.create()
+        woke_at = []
+
+        def waiter():
+            if store.wait_for_message(box, timeout=5.0):
+                woke_at.append(time.monotonic())
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        time.sleep(0.1)
+        deposited_at = time.monotonic()
+        store.deposit(box, b"wake up")
+        t.join(2)
+        assert woke_at and woke_at[0] - deposited_at < 0.5
+
+    def test_missing_mailbox_raises(self):
+        with pytest.raises(MailboxNotFound):
+            MailboxStore().wait_for_message("nope", timeout=0.1)
+
+
+class TestServiceLongPoll:
+    @pytest.fixture
+    def served(self, inproc):
+        store = MailboxStore()
+        service = MsgBoxService(store, base_url="http://mb:8500/mailbox")
+        app = SoapHttpApp()
+        app.mount("/mailbox", service)
+        server = HttpServer(
+            inproc.listen("mb:8500"), app.handle_request, workers=8
+        ).start()
+        client = MsgBoxClient(HttpClient(inproc), "http://mb:8500/mailbox")
+        yield store, service, client
+        server.stop()
+
+    def deposit_later(self, service, mailbox_id, delay):
+        def run():
+            time.sleep(delay)
+            env = make_echo_message(to="urn:x", message_id=f"uuid:lp-{delay}")
+            env.headers.append(Element(Q_MAILBOX_ID, text=mailbox_id))
+            service.handle(env, RequestContext(path="/mailbox"))
+
+        threading.Thread(target=run, daemon=True).start()
+
+    def test_long_poll_returns_early_on_arrival(self, served):
+        store, service, client = served
+        box = client.create()
+        self.deposit_later(service, box, delay=0.15)
+        t0 = time.monotonic()
+        messages = client.take(wait=5.0)
+        elapsed = time.monotonic() - t0
+        assert len(messages) == 1
+        assert elapsed < 2.0  # woke on arrival, not at the wait cap
+
+    def test_long_poll_times_out_empty(self, served):
+        store, service, client = served
+        client.create()
+        t0 = time.monotonic()
+        assert client.take(wait=0.3) == []
+        assert time.monotonic() - t0 >= 0.25
+
+    def test_wait_capped_by_service_limit(self, served):
+        store, service, client = served
+        service.max_wait_seconds = 0.2
+        client.create()
+        t0 = time.monotonic()
+        assert client.take(wait=60.0) == []
+        assert time.monotonic() - t0 < 2.0
+
+    def test_long_poll_beats_short_polling_on_requests(self, served):
+        """One long poll replaces a burst of empty short polls."""
+        store, service, client = served
+        box = client.create()
+        baseline = service.stats.get("takes", 0)
+
+        # short-poll client: hammers take() until the message shows up
+        self.deposit_later(service, box, delay=0.4)
+        while not client.take():
+            time.sleep(0.02)
+        short_poll_takes = service.stats.get("takes", 0) - baseline
+
+        self.deposit_later(service, box, delay=0.4)
+        got = client.take(wait=5.0)
+        long_poll_takes = service.stats.get("takes", 0) - baseline - short_poll_takes
+        assert got
+        assert long_poll_takes == 1
+        assert short_poll_takes > 3

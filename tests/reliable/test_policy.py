@@ -1,0 +1,54 @@
+"""Tests for retry policies."""
+
+import pytest
+
+from repro.reliable import ExponentialBackoff, FixedDelay
+
+
+class TestFixedDelay:
+    def test_retries_until_max(self):
+        p = FixedDelay(max_attempts=3, delay=0.5)
+        assert p.should_retry(1)
+        assert p.should_retry(2)
+        assert not p.should_retry(3)
+
+    def test_constant_delay(self):
+        p = FixedDelay(max_attempts=3, delay=0.5)
+        assert p.delay_before(2) == 0.5
+        assert p.delay_before(7) == 0.5
+
+    def test_single_attempt_never_retries(self):
+        assert not FixedDelay(max_attempts=1).should_retry(1)
+
+    @pytest.mark.parametrize("kwargs", [{"max_attempts": 0}, {"delay": -1}])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            FixedDelay(**kwargs)
+
+
+class TestExponentialBackoff:
+    def test_growth(self):
+        p = ExponentialBackoff(max_attempts=6, base=1.0, factor=2.0, max_delay=100)
+        assert p.delay_before(2) == 1.0
+        assert p.delay_before(3) == 2.0
+        assert p.delay_before(4) == 4.0
+
+    def test_cap(self):
+        p = ExponentialBackoff(base=1.0, factor=10.0, max_delay=5.0)
+        assert p.delay_before(5) == 5.0
+
+    def test_first_attempt_immediate(self):
+        assert ExponentialBackoff().delay_before(1) == 0.0
+
+    def test_retry_budget(self):
+        p = ExponentialBackoff(max_attempts=2)
+        assert p.should_retry(1)
+        assert not p.should_retry(2)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"max_attempts": 0}, {"base": -1}, {"factor": 0.5}, {"max_delay": -1}],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ExponentialBackoff(**kwargs)

@@ -1,0 +1,113 @@
+"""Tests for crash injection (host fail/recover)."""
+
+import pytest
+
+from repro.errors import ConnectionClosed, ConnectionTimeout
+from repro.http import HttpRequest, HttpResponse
+from repro.simnet.httpsim import SimHttpServer, sim_http_request
+from repro.simnet.tcpsim import TcpParams, connect, listen
+from repro.simnet.topology import AccessLink, Network
+
+
+@pytest.fixture
+def world(sim):
+    net = Network(sim)
+    link = AccessLink(5000, 5000, 0.005)
+    client = net.add_host("client", link)
+    server = net.add_host("server", link)
+    return net, client, server
+
+
+def test_connect_to_failed_host_times_out(world):
+    net, client, server = world
+    sim = net.sim
+    listen(sim, server, 80)
+    server.fail()
+
+    def proc():
+        try:
+            yield from connect(net, client, "server", 80,
+                               TcpParams(connect_timeout=2.0))
+        except ConnectionTimeout as exc:
+            return (str(exc), sim.now)
+
+    message, elapsed = sim.run(sim.process(proc()))
+    assert "host down" in message
+    assert elapsed == pytest.approx(2.0, abs=0.1)
+
+
+def test_established_connection_breaks_on_crash(world):
+    net, client, server = world
+    sim = net.sim
+    listen(sim, server, 80)
+
+    def proc():
+        conn = yield from connect(net, client, "server", 80)
+        server.fail()
+        try:
+            yield from conn.send(b"doomed")
+        except ConnectionClosed:
+            return "broken"
+
+    assert sim.run(sim.process(proc())) == "broken"
+
+
+def test_crash_mid_transfer_breaks_send(world):
+    net, client, server = world
+    sim = net.sim
+    listen(sim, server, 80)
+
+    def killer():
+        yield sim.timeout(0.05)
+        server.fail()
+
+    def proc():
+        conn = yield from connect(net, client, "server", 80)
+        sim.process(killer())
+        try:
+            # large transfer: the crash lands mid-flight
+            yield from conn.send(b"x" * 200_000)
+        except ConnectionClosed:
+            return "broken mid-send"
+
+    assert sim.run(sim.process(proc())) == "broken mid-send"
+
+
+def test_recovery_restores_service(world):
+    net, client, server = world
+    sim = net.sim
+    SimHttpServer(net, server, 80, lambda r: HttpResponse(200, body=b"up"))
+    server.fail()
+
+    def proc():
+        try:
+            yield from sim_http_request(
+                net, client, "server", 80, HttpRequest("GET", "/"),
+                connect_timeout=1.0,
+            )
+        except ConnectionTimeout:
+            pass
+        server.recover()
+        resp = yield from sim_http_request(
+            net, client, "server", 80, HttpRequest("GET", "/"),
+            connect_timeout=1.0,
+        )
+        return resp.body
+
+    assert sim.run(sim.process(proc())) == b"up"
+
+
+def test_failed_client_cannot_send(world):
+    net, client, server = world
+    sim = net.sim
+    listen(sim, server, 80)
+
+    def proc():
+        conn = yield from connect(net, client, "server", 80)
+        client.fail()
+        try:
+            yield from conn.send(b"x")
+        except ConnectionClosed:
+            return "local down"
+
+    assert sim.run(sim.process(proc())) == "local down"

@@ -1,0 +1,89 @@
+"""Tests for link-loss modelling."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simnet.kernel import Simulator
+from repro.simnet.topology import AccessLink, Network
+
+
+def test_loss_validation():
+    with pytest.raises(SimulationError):
+        AccessLink(1000, 1000, 0.01, loss=1.0)
+    with pytest.raises(SimulationError):
+        AccessLink(1000, 1000, 0.01, loss=-0.1)
+
+
+def test_lossless_link_never_drops(sim):
+    net = Network(sim)
+    a = net.add_host("a", AccessLink(1000, 1000, 0.01))
+    b = net.add_host("b", AccessLink(1000, 1000, 0.01))
+
+    def sender():
+        for _ in range(100):
+            yield net.transfer(a, b, 100)
+
+    sim.run(sim.process(sender()))
+    assert a.link.dropped_transfers == 0
+    assert b.link.dropped_transfers == 0
+
+
+def test_lossy_link_retransmits_and_counts(sim):
+    net = Network(sim, loss_seed=42)
+    a = net.add_host("a", AccessLink(8000, 8000, 0.001, loss=0.3))
+    b = net.add_host("b", AccessLink(8000, 8000, 0.001))
+    durations = []
+
+    def sender():
+        for _ in range(200):
+            t0 = sim.now
+            yield net.transfer(a, b, 100)
+            durations.append(sim.now - t0)
+
+    sim.run(sim.process(sender()))
+    drops = a.link.dropped_transfers
+    # ~30% of 200 transfers (plus re-drops) should have retransmitted
+    assert 30 <= drops <= 120
+    # retransmitted transfers pay at least one RTO
+    assert max(durations) >= net.rto
+    assert min(durations) < net.rto
+
+
+def test_loss_is_deterministic_per_seed():
+    def run(seed):
+        sim = Simulator()
+        net = Network(sim, loss_seed=seed)
+        a = net.add_host("a", AccessLink(8000, 8000, 0.001, loss=0.2))
+        b = net.add_host("b", AccessLink(8000, 8000, 0.001))
+
+        def sender():
+            for _ in range(100):
+                yield net.transfer(a, b, 100)
+
+        sim.run(sim.process(sender()))
+        return a.link.dropped_transfers, sim.now
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)
+
+
+def test_loss_slows_http_exchange(sim):
+    from repro.http import HttpRequest
+    from repro.simnet.httpsim import SimHttpServer, sim_http_request
+    from repro.http import HttpResponse
+
+    net = Network(sim, loss_seed=1)
+    client = net.add_host("client", AccessLink(8000, 8000, 0.001, loss=0.5))
+    server = net.add_host("server", AccessLink(8000, 8000, 0.001))
+    SimHttpServer(net, server, 80, lambda r: HttpResponse(200, body=b"ok"))
+
+    def call():
+        resp = yield from sim_http_request(
+            net, client, "server", 80, HttpRequest("GET", "/"),
+            response_timeout=60.0, connect_timeout=60.0,
+        )
+        return (resp.status, sim.now)
+
+    status, elapsed = sim.run(sim.process(call()))
+    assert status == 200           # reliability preserved
+    assert elapsed >= net.rto      # but the loss cost real time

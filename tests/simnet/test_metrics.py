@@ -1,0 +1,125 @@
+"""Tests for the simulation metrics sampler."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simnet.kernel import Simulator
+from repro.simnet.metrics import MetricsSampler, SeriesData
+from repro.simnet.topology import AccessLink, Network
+
+
+class TestSeriesData:
+    def test_at_interpolates_stepwise(self):
+        s = SeriesData("x", times=[0.0, 1.0, 2.0], values=[1.0, 5.0, 3.0])
+        assert s.at(-1.0) == 0.0
+        assert s.at(0.5) == 1.0
+        assert s.at(1.0) == 5.0
+        assert s.at(10.0) == 3.0
+
+    def test_aggregates(self):
+        s = SeriesData("x", times=[0, 1], values=[2.0, 4.0])
+        assert s.peak == 4.0
+        assert s.mean == 3.0
+        assert SeriesData("empty").peak == 0.0
+
+
+class TestSampler:
+    def test_samples_on_cadence(self, sim):
+        sampler = MetricsSampler(sim, interval=1.0)
+        counter = [0]
+        sampler.gauge("count", lambda: counter[0])
+
+        def bump():
+            for _ in range(5):
+                yield sim.timeout(1.0)
+                counter[0] += 1
+
+        sampler.start()
+        sim.run(sim.process(bump()))
+        data = sampler.series["count"]
+        assert data.times == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+        assert data.values == [0, 0, 1, 2, 3, 4]
+
+    def test_watch_host_gauges(self, sim):
+        net = Network(sim)
+        host = net.add_host("h", AccessLink(8, 8, 0.001))  # 8 kbps = 1000 B/s
+        sampler = MetricsSampler(sim, interval=0.5)
+        sampler.watch_host(host)
+        sampler.start()
+        host.link.up.transmit(10_000)  # 10 s of backlog at 1000 B/s
+        host.try_acquire_connection()
+        sim.run(until=2.0)
+        assert sampler.series["h.connections"].peak == 1.0
+        assert sampler.series["h.up_backlog_s"].peak > 5.0
+
+    def test_duplicate_gauge_rejected(self, sim):
+        sampler = MetricsSampler(sim, interval=1.0)
+        sampler.gauge("x", lambda: 0)
+        with pytest.raises(SimulationError):
+            sampler.gauge("x", lambda: 1)
+
+    def test_invalid_interval(self, sim):
+        with pytest.raises(SimulationError):
+            MetricsSampler(sim, interval=0)
+
+    def test_double_start_rejected(self, sim):
+        sampler = MetricsSampler(sim, interval=1.0)
+        sampler.start()
+        with pytest.raises(SimulationError):
+            sampler.start()
+
+    def test_failing_gauge_records_zero(self, sim):
+        sampler = MetricsSampler(sim, interval=1.0)
+        sampler.gauge("broken", lambda: 1 / 0)
+        sampler.start()
+        sim.run(until=1.5)
+        assert sampler.series["broken"].values == [0.0, 0.0]
+
+    def test_render_shows_stats_and_bar(self, sim):
+        sampler = MetricsSampler(sim, interval=0.5)
+        ramp = [0]
+        sampler.gauge("ramp", lambda: ramp[0])
+
+        def grow():
+            for i in range(10):
+                yield sim.timeout(0.5)
+                ramp[0] = i
+
+        sampler.start()
+        sim.run(sim.process(grow()))
+        text = sampler.render()
+        assert "ramp" in text and "peak=" in text and "|" in text
+
+    def test_render_empty_series(self, sim):
+        sampler = MetricsSampler(sim, interval=1.0)
+        sampler.gauge("never", lambda: 1)
+        assert "(no samples)" in sampler.render()
+
+
+def test_sampler_diagnoses_fig4_congestion():
+    """The sampler makes Figure 4's mechanism visible: uplink backlog and
+    connection-table occupancy climbing with offered load."""
+    from repro.simnet.scenarios import CABLE_MODEM_US, INRIA_SLOW, make_network
+    from repro.rt.service import SoapHttpApp
+    from repro.simnet.httpsim import SimHttpServer
+    from repro.workload.echo import EchoService
+    from repro.workload.sim_testclient import SimRampConfig, SimRampTester
+
+    sim, net, hosts = make_network(CABLE_MODEM_US, INRIA_SLOW)
+    client_host, server_host = hosts["iuLow"], hosts["inriaSlow"]
+    server_host.firewall.open_ports = frozenset({8080})
+    app = SoapHttpApp()
+    app.mount("/echo", EchoService())
+    SimHttpServer(net, server_host, 8080, lambda r: app.handle_request(r, None))
+
+    sampler = MetricsSampler(sim, interval=2.0)
+    sampler.watch_host(client_host, prefix="cable")
+    sampler.start()
+
+    tester = SimRampTester(net, client_host, "inriaSlow", 8080, "/echo")
+    tester.run(SimRampConfig(clients=400, duration=20.0))
+
+    # the consumer connection table pegs at its 256 limit...
+    assert sampler.series["cable.connections"].peak == 256
+    # ...and the 288 kbps uplink runs a persistent backlog
+    assert sampler.series["cable.up_backlog_s"].peak > 0.5

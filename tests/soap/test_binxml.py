@@ -1,0 +1,145 @@
+"""Tests for the binary XML codec (future-work protocol extension)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import XmlError
+from repro.soap import Envelope
+from repro.soap.binxml import (
+    BINXML_CONTENT_TYPE,
+    decode_element,
+    decode_envelope,
+    encode_element,
+    encode_envelope,
+    sniff_and_parse,
+)
+from repro.workload.echo import make_echo_message, make_echo_request
+from repro.xmlmini import Element, QName
+
+
+class TestRoundtrip:
+    def test_simple_element(self):
+        tree = Element("root", text="hello")
+        assert decode_element(encode_element(tree)) == tree
+
+    def test_echo_envelope(self):
+        tree = make_echo_request().to_element()
+        assert decode_element(encode_element(tree)) == tree
+
+    def test_full_addressed_message(self):
+        env = make_echo_message("urn:wsd:echo", "uuid:1")
+        decoded = decode_envelope(encode_envelope(env))
+        assert decoded.headers == env.headers
+        assert decoded.body == env.body
+
+    def test_attributes_preserved(self):
+        tree = Element(QName("urn:x", "a"))
+        tree.attrs[QName(None, "plain")] = "1"
+        tree.attrs[QName("urn:y", "qualified")] = "two"
+        assert decode_element(encode_element(tree)) == tree
+
+    def test_mixed_content(self):
+        tree = Element("a")
+        tree.children = ["pre", Element("b", text="mid"), "post"]
+        assert decode_element(encode_element(tree)) == tree
+
+    def test_unicode_text(self):
+        tree = Element("a", text="héllo wörld — ≤≥ 🎉")
+        assert decode_element(encode_element(tree)) == tree
+
+
+class TestCompactness:
+    def test_smaller_than_text_for_soap(self):
+        env = make_echo_message("urn:wsd:echo", "uuid:msg-1")
+        text = env.to_bytes()
+        binary = encode_envelope(env)
+        assert len(binary) < len(text)
+
+    def test_repeated_namespaces_interned(self):
+        root = Element(QName("urn:very-long-namespace-uri/x", "root"))
+        for i in range(50):
+            root.add(Element(QName("urn:very-long-namespace-uri/x", f"c{i}")))
+        binary = encode_element(root)
+        assert binary.count(b"very-long-namespace-uri") == 1
+
+
+class TestMalformedInput:
+    def test_bad_magic(self):
+        with pytest.raises(XmlError):
+            decode_element(b"NOPE rest")
+
+    def test_truncated_table(self):
+        good = encode_element(Element("a", text="some text"))
+        with pytest.raises(XmlError):
+            decode_element(good[:8])
+
+    def test_trailing_garbage(self):
+        good = encode_element(Element("a"))
+        with pytest.raises(XmlError):
+            decode_element(good + b"extra")
+
+    def test_out_of_range_reference(self):
+        # hand-build: magic, table of 1 entry (empty), ELEM with ns ref 99
+        bad = b"BX1" + bytes([1, 0]) + bytes([0x01, 99, 99, 0, 0])
+        with pytest.raises(XmlError):
+            decode_element(bad)
+
+    def test_implausible_table_size(self):
+        bad = b"BX1" + b"\xff\xff\xff\xff\x7f"
+        with pytest.raises(XmlError):
+            decode_element(bad)
+
+
+class TestSniffing:
+    def test_sniff_by_content_type(self):
+        env = make_echo_request()
+        parsed = sniff_and_parse(encode_envelope(env), BINXML_CONTENT_TYPE)
+        assert parsed.body == env.body
+
+    def test_sniff_by_magic(self):
+        env = make_echo_request()
+        assert sniff_and_parse(encode_envelope(env)).body == env.body
+
+    def test_sniff_falls_back_to_text(self):
+        env = make_echo_request()
+        assert sniff_and_parse(env.to_bytes()).body == env.body
+
+
+_local = st.from_regex(r"[A-Za-z_][A-Za-z0-9._-]{0,8}", fullmatch=True)
+_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=20
+).filter(bool)
+
+
+@st.composite
+def trees(draw, depth=3):
+    ns = draw(st.sampled_from([None, "urn:a", "urn:b"]))
+    el = Element(QName(ns, draw(_local)))
+    for _ in range(draw(st.integers(0, 2))):
+        el.attrs[QName(draw(st.sampled_from([None, "urn:a"])), draw(_local))] = draw(
+            _text
+        )
+    if depth > 0:
+        for _ in range(draw(st.integers(0, 3))):
+            if draw(st.booleans()):
+                el.children.append(draw(trees(depth=depth - 1)))
+            else:
+                el.children.append(draw(_text))
+    return el
+
+
+@given(trees())
+@settings(max_examples=150, deadline=None)
+def test_roundtrip_property(tree):
+    assert decode_element(encode_element(tree)) == tree
+
+
+@given(trees())
+@settings(max_examples=50, deadline=None)
+def test_binary_equals_text_semantics(tree):
+    """Binary and text paths decode to structurally equal trees."""
+    from repro.xmlmini import parse, serialize
+
+    via_text = parse(serialize(tree))
+    via_binary = decode_element(encode_element(tree))
+    assert via_text == via_binary

@@ -1,0 +1,33 @@
+"""Tests for SOAP version descriptors."""
+
+import pytest
+
+from repro.soap.constants import (
+    SOAP11_CONTENT_TYPE,
+    SOAP11_NS,
+    SOAP12_CONTENT_TYPE,
+    SOAP12_NS,
+    SoapVersion,
+)
+
+
+def test_version_namespaces():
+    assert SoapVersion.V11.ns == SOAP11_NS
+    assert SoapVersion.V12.ns == SOAP12_NS
+
+
+def test_content_types():
+    assert SoapVersion.V11.content_type == SOAP11_CONTENT_TYPE
+    assert SoapVersion.V12.content_type == SOAP12_CONTENT_TYPE
+    assert "text/xml" in SOAP11_CONTENT_TYPE
+    assert "application/soap+xml" in SOAP12_CONTENT_TYPE
+
+
+def test_from_ns_roundtrip():
+    for version in SoapVersion:
+        assert SoapVersion.from_ns(version.ns) is version
+
+
+def test_from_ns_rejects_unknown():
+    with pytest.raises(ValueError):
+        SoapVersion.from_ns("urn:not-soap")

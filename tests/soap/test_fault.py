@@ -1,0 +1,79 @@
+"""Tests for SOAP fault mapping (1.1 and 1.2 shapes)."""
+
+import pytest
+
+from repro.errors import SoapError
+from repro.soap import Fault, SoapVersion
+from repro.xmlmini import Element, QName, parse, serialize
+
+
+class TestSoap11:
+    def test_roundtrip(self):
+        fault = Fault("Client", "bad request", detail="missing param")
+        parsed = Fault.from_element(parse(serialize(fault.to_element(SoapVersion.V11))))
+        assert parsed == fault
+
+    def test_shape(self):
+        el = Fault("Server", "oops").to_element(SoapVersion.V11)
+        assert el.name.ns == SoapVersion.V11.ns
+        assert el.require(QName(None, "faultcode")).text == "soapenv:Server"
+        assert el.require(QName(None, "faultstring")).text == "oops"
+
+    def test_no_detail_element_when_absent(self):
+        el = Fault("Server", "oops").to_element(SoapVersion.V11)
+        assert el.find(QName(None, "detail")) is None
+
+    def test_prefix_stripped_on_parse(self):
+        doc = (
+            f"<f:Fault xmlns:f='{SoapVersion.V11.ns}'>"
+            "<faultcode>weird:Client</faultcode>"
+            "<faultstring>r</faultstring></f:Fault>"
+        )
+        assert Fault.from_element(parse(doc)).code == "Client"
+
+    def test_missing_faultcode_rejected(self):
+        doc = (
+            f"<f:Fault xmlns:f='{SoapVersion.V11.ns}'>"
+            "<faultstring>r</faultstring></f:Fault>"
+        )
+        with pytest.raises(SoapError):
+            Fault.from_element(parse(doc))
+
+
+class TestSoap12:
+    def test_roundtrip(self):
+        fault = Fault("Server", "internal", detail="stack")
+        parsed = Fault.from_element(
+            parse(serialize(fault.to_element(SoapVersion.V12)))
+        )
+        assert parsed == fault
+
+    def test_code_mapping_to_12_vocabulary(self):
+        el = Fault("Client", "r").to_element(SoapVersion.V12)
+        ns = SoapVersion.V12.ns
+        value = el.require(QName(ns, "Code")).require(QName(ns, "Value"))
+        assert value.text.endswith("Sender")
+
+    def test_code_unmapped_on_parse(self):
+        el = Fault("Server", "r").to_element(SoapVersion.V12)
+        assert Fault.from_element(el).code == "Server"
+
+    def test_missing_reason_rejected(self):
+        ns = SoapVersion.V12.ns
+        el = Element(QName(ns, "Fault"))
+        code = Element(QName(ns, "Code"))
+        code.add(Element(QName(ns, "Value"), text="soapenv:Receiver"))
+        el.children.append(code)
+        with pytest.raises(SoapError):
+            Fault.from_element(el)
+
+
+def test_non_fault_element_rejected():
+    with pytest.raises(SoapError):
+        Fault.from_element(Element(QName("urn:x", "NotAFault")))
+
+
+def test_custom_code_passes_through():
+    fault = Fault("MyAppError", "custom")
+    for version in SoapVersion:
+        assert Fault.from_element(fault.to_element(version)).code == "MyAppError"

@@ -1,0 +1,119 @@
+"""Tests for SOAP-RPC wrapping/unwrapping."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SoapError, SoapFaultError
+from repro.soap import (
+    Envelope,
+    Fault,
+    RpcRequest,
+    RpcResponse,
+    SoapVersion,
+    build_rpc_request,
+    build_rpc_response,
+    parse_rpc_request,
+    parse_rpc_response,
+)
+from repro.xmlmini import Element, QName
+
+
+class TestRequest:
+    def test_roundtrip(self):
+        req = RpcRequest("urn:svc", "doIt", [("a", "1"), ("b", "2")])
+        parsed = parse_rpc_request(
+            Envelope.from_bytes(build_rpc_request(req).to_bytes())
+        )
+        assert parsed == req
+
+    def test_param_lookup(self):
+        req = RpcRequest("urn:svc", "op", [("k", "v")])
+        assert req.param("k") == "v"
+        assert req.param("missing") is None
+        assert req.param("missing", "d") == "d"
+
+    def test_require_param(self):
+        req = RpcRequest("urn:svc", "op", [])
+        with pytest.raises(SoapError):
+            req.require_param("k")
+
+    def test_repeated_params_preserved(self):
+        req = RpcRequest("urn:svc", "op", [("x", "1"), ("x", "2")])
+        parsed = parse_rpc_request(
+            Envelope.from_bytes(build_rpc_request(req).to_bytes())
+        )
+        assert parsed.params == [("x", "1"), ("x", "2")]
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(SoapError):
+            parse_rpc_request(Envelope(None))
+
+    def test_unqualified_wrapper_rejected(self):
+        env = Envelope(Element(QName(None, "bare")))
+        with pytest.raises(SoapError):
+            parse_rpc_request(env)
+
+    def test_fault_body_rejected(self):
+        env = Envelope(Fault("Client", "nope").to_element(SoapVersion.V11))
+        with pytest.raises(SoapError):
+            parse_rpc_request(env)
+
+
+class TestResponse:
+    def test_roundtrip(self):
+        resp = RpcResponse("urn:svc", "doIt", [("return", "ok")])
+        env = build_rpc_response(resp)
+        assert env.body.name.local == "doItResponse"
+        parsed = parse_rpc_response(Envelope.from_bytes(env.to_bytes()))
+        assert parsed == resp
+
+    def test_result_lookup(self):
+        resp = RpcResponse("urn:svc", "op", [("r", "1")])
+        assert resp.result("r") == "1"
+        assert resp.result("zz", "d") == "d"
+
+    def test_fault_raises_soap_fault_error(self):
+        env = Envelope(Fault("Server", "kaput", "why").to_element(SoapVersion.V11))
+        with pytest.raises(SoapFaultError) as exc_info:
+            parse_rpc_response(env)
+        assert exc_info.value.code == "Server"
+        assert exc_info.value.reason == "kaput"
+        assert exc_info.value.detail == "why"
+
+    def test_wrapper_without_response_suffix_tolerated(self):
+        env = Envelope(Element(QName("urn:svc", "weirdName"), text=""))
+        assert parse_rpc_response(env).operation == "weirdName"
+
+    def test_soap12(self):
+        resp = RpcResponse("urn:svc", "op", [("r", "v")])
+        env = build_rpc_response(resp, version=SoapVersion.V12)
+        assert env.version is SoapVersion.V12
+        assert parse_rpc_response(env).result("r") == "v"
+
+
+_name = st.from_regex(r"[a-zA-Z][a-zA-Z0-9]{0,10}", fullmatch=True)
+_value = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")), max_size=30
+)
+
+
+@given(
+    op=_name,
+    params=st.lists(st.tuples(_name, _value), max_size=5),
+)
+@settings(max_examples=100, deadline=None)
+def test_rpc_request_roundtrip_property(op, params):
+    req = RpcRequest("urn:prop", op, params)
+    wire = build_rpc_request(req).to_bytes()
+    assert parse_rpc_request(Envelope.from_bytes(wire)) == req
+
+
+@given(
+    op=_name,
+    results=st.lists(st.tuples(_name, _value), max_size=5),
+)
+@settings(max_examples=100, deadline=None)
+def test_rpc_response_roundtrip_property(op, results):
+    resp = RpcResponse("urn:prop", op, results)
+    wire = build_rpc_response(resp).to_bytes()
+    assert parse_rpc_response(Envelope.from_bytes(wire)) == resp

@@ -1,0 +1,78 @@
+"""Tests for the real-socket transport (loopback only)."""
+
+import threading
+
+import pytest
+
+from repro.errors import ConnectionRefused, ConnectionTimeout
+from repro.transport.base import Endpoint
+from repro.transport.tcp import TcpConnector, TcpListener
+
+
+@pytest.fixture
+def listener():
+    lst = TcpListener("127.0.0.1:0")
+    yield lst
+    lst.close()
+
+
+def test_ephemeral_port_assigned(listener):
+    assert listener.endpoint.port != 0
+
+
+def test_echo_roundtrip(listener):
+    def serve():
+        stream = listener.accept(timeout=2)
+        data = stream.recv(100)
+        stream.send(data[::-1])
+        stream.close()
+
+    t = threading.Thread(target=serve)
+    t.start()
+    client = TcpConnector().connect(listener.endpoint, timeout=2)
+    client.send(b"abc")
+    assert client.recv(100) == b"cba"
+    client.close()
+    t.join(2)
+
+
+def test_connect_refused():
+    with pytest.raises(ConnectionRefused):
+        # port 1 on loopback is almost certainly closed
+        TcpConnector().connect(Endpoint("127.0.0.1", 1), timeout=1)
+
+
+def test_accept_timeout(listener):
+    with pytest.raises(ConnectionTimeout):
+        listener.accept(timeout=0.05)
+
+
+def test_recv_timeout(listener):
+    hold = threading.Event()
+
+    def serve():
+        stream = listener.accept(timeout=2)
+        hold.wait(2)
+        stream.close()
+
+    t = threading.Thread(target=serve)
+    t.start()
+    client = TcpConnector().connect(listener.endpoint, timeout=2)
+    with pytest.raises(ConnectionTimeout):
+        client.recv(10, timeout=0.05)
+    hold.set()
+    client.close()
+    t.join(2)
+
+
+def test_eof_on_close(listener):
+    def serve():
+        stream = listener.accept(timeout=2)
+        stream.close()
+
+    t = threading.Thread(target=serve)
+    t.start()
+    client = TcpConnector().connect(listener.endpoint, timeout=2)
+    assert client.recv(100, timeout=2) == b""
+    client.close()
+    t.join(2)

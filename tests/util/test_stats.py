@@ -1,0 +1,134 @@
+"""Tests for online statistics."""
+
+import math
+import statistics
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.stats import Counter, Histogram, OnlineStats
+
+
+class TestOnlineStats:
+    def test_empty(self):
+        s = OnlineStats()
+        assert s.count == 0
+        assert s.mean == 0.0
+        assert s.variance == 0.0
+
+    def test_single_value(self):
+        s = OnlineStats()
+        s.add(3.0)
+        assert s.mean == 3.0
+        assert s.variance == 0.0
+        assert s.min == s.max == 3.0
+
+    def test_known_values(self):
+        s = OnlineStats()
+        data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        for x in data:
+            s.add(x)
+        assert s.mean == pytest.approx(statistics.mean(data))
+        assert s.variance == pytest.approx(statistics.variance(data))
+        assert s.min == 2.0 and s.max == 9.0
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=200))
+    def test_matches_statistics_module(self, data):
+        s = OnlineStats()
+        for x in data:
+            s.add(x)
+        assert s.mean == pytest.approx(statistics.mean(data), rel=1e-6, abs=1e-6)
+        assert s.variance == pytest.approx(
+            statistics.variance(data), rel=1e-5, abs=1e-5
+        )
+
+    @given(
+        st.lists(st.floats(-1e5, 1e5), min_size=1, max_size=50),
+        st.lists(st.floats(-1e5, 1e5), min_size=1, max_size=50),
+    )
+    def test_merge_equals_combined(self, left, right):
+        a = OnlineStats()
+        for x in left:
+            a.add(x)
+        b = OnlineStats()
+        for x in right:
+            b.add(x)
+        a.merge(b)
+        combined = OnlineStats()
+        for x in left + right:
+            combined.add(x)
+        assert a.count == combined.count
+        assert a.mean == pytest.approx(combined.mean, rel=1e-6, abs=1e-6)
+        assert a.variance == pytest.approx(combined.variance, rel=1e-4, abs=1e-4)
+        assert a.min == combined.min and a.max == combined.max
+
+    def test_merge_empty_is_noop(self):
+        a = OnlineStats()
+        a.add(1.0)
+        a.merge(OnlineStats())
+        assert a.count == 1
+
+    def test_merge_into_empty(self):
+        a = OnlineStats()
+        b = OnlineStats()
+        b.add(2.0)
+        b.add(4.0)
+        a.merge(b)
+        assert a.count == 2 and a.mean == 3.0
+
+
+class TestHistogram:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            Histogram(0)
+        with pytest.raises(ValueError):
+            Histogram(1.0, num_buckets=0)
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValueError):
+            Histogram(1.0).add(-0.1)
+
+    def test_quantile_empty(self):
+        assert Histogram(1.0).quantile(0.5) == 0.0
+
+    def test_quantile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Histogram(1.0).quantile(1.5)
+
+    def test_quantiles_of_uniform_data(self):
+        h = Histogram(1.0, num_buckets=100)
+        for i in range(100):
+            h.add(i + 0.5)
+        assert h.quantile(0.5) == pytest.approx(50.0, abs=1.0)
+        assert h.quantile(0.99) == pytest.approx(99.0, abs=1.5)
+
+    def test_overflow_bucket(self):
+        h = Histogram(1.0, num_buckets=4)
+        h.add(100.0)
+        assert h.overflow == 1
+        assert h.quantile(1.0) == math.inf
+
+
+class TestCounter:
+    def test_inc_and_get(self):
+        c = Counter()
+        c.inc("a")
+        c.inc("a", 2)
+        assert c.get("a") == 3
+        assert c.get("missing") == 0
+
+    def test_merge(self):
+        a = Counter()
+        a.inc("x")
+        b = Counter()
+        b.inc("x", 2)
+        b.inc("y")
+        a.merge(b)
+        assert a.as_dict() == {"x": 3, "y": 1}
+
+    def test_as_dict_is_copy(self):
+        c = Counter()
+        c.inc("a")
+        d = c.as_dict()
+        d["a"] = 99
+        assert c.get("a") == 1

@@ -1,0 +1,61 @@
+"""Tests for the echo workload."""
+
+import pytest
+
+from repro.rt.service import RequestContext
+from repro.soap import Envelope, parse_rpc_request, parse_rpc_response
+from repro.util.clock import ManualClock
+from repro.workload.echo import (
+    PAPER_XML_BYTES,
+    EchoService,
+    make_echo_message,
+    make_echo_request,
+)
+from repro.wsa import AddressingHeaders, EndpointReference
+
+
+class TestMessageSizing:
+    def test_default_matches_paper_estimate(self):
+        """Paper: 'about ... 263 bytes for the XML message'."""
+        wire = make_echo_request().to_bytes()
+        assert len(wire) == PAPER_XML_BYTES == 263
+
+    def test_custom_size(self):
+        assert len(make_echo_request(target_bytes=400).to_bytes()) == 400
+
+    def test_tiny_target_clamps_to_overhead(self):
+        wire = make_echo_request(target_bytes=1).to_bytes()
+        assert len(wire) > 1  # envelope overhead is irreducible
+
+    def test_request_parses_as_rpc(self):
+        req = parse_rpc_request(Envelope.from_bytes(make_echo_request().to_bytes()))
+        assert req.operation == "echo"
+        assert req.param("text") is not None
+
+
+class TestEchoMessage:
+    def test_carries_addressing_headers(self):
+        epr = EndpointReference("http://client/inbox")
+        msg = make_echo_message("urn:wsd:echo", "uuid:1", reply_to=epr)
+        hdr = AddressingHeaders.from_envelope(msg)
+        assert hdr.to == "urn:wsd:echo"
+        assert hdr.message_id == "uuid:1"
+        assert hdr.reply_to.address == "http://client/inbox"
+        assert hdr.action.endswith("/echo")
+
+
+class TestEchoService:
+    def test_echoes_text(self):
+        svc = EchoService()
+        reply = svc.handle(make_echo_request(), RequestContext(path="/echo"))
+        parsed = parse_rpc_response(reply)
+        assert parsed.result("return") == parse_rpc_request(
+            make_echo_request()
+        ).param("text")
+        assert svc.calls == 1
+
+    def test_response_delay_applied(self):
+        slept = []
+        svc = EchoService(response_delay=1.5, sleep=slept.append)
+        svc.handle(make_echo_request(), RequestContext(path="/echo"))
+        assert slept == [1.5]

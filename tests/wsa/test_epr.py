@@ -1,0 +1,63 @@
+"""Tests for endpoint references."""
+
+import pytest
+
+from repro.errors import AddressingError
+from repro.wsa import WSA_ANONYMOUS, WSA_NS, EndpointReference
+from repro.xmlmini import Element, QName, parse, serialize
+
+
+def test_address_required():
+    with pytest.raises(AddressingError):
+        EndpointReference("")
+
+
+def test_anonymous():
+    epr = EndpointReference.anonymous()
+    assert epr.is_anonymous
+    assert epr.address == WSA_ANONYMOUS
+    assert not EndpointReference("http://x/").is_anonymous
+
+
+def test_to_element_shape():
+    epr = EndpointReference("http://host/svc")
+    el = epr.to_element(QName(WSA_NS, "ReplyTo"))
+    assert el.name == QName(WSA_NS, "ReplyTo")
+    assert el.require(QName(WSA_NS, "Address")).text == "http://host/svc"
+    assert el.find(QName(WSA_NS, "ReferenceProperties")) is None
+
+
+def test_reference_properties_roundtrip():
+    prop = Element(QName("urn:mb", "MailboxId"), text="abc123")
+    epr = EndpointReference("http://host/mb", reference_properties=[prop])
+    el = epr.to_element(QName(WSA_NS, "ReplyTo"))
+    parsed = EndpointReference.from_element(parse(serialize(el)))
+    assert parsed.address == "http://host/mb"
+    assert parsed.reference_properties == [prop]
+
+
+def test_from_element_requires_address():
+    el = Element(QName(WSA_NS, "ReplyTo"))
+    with pytest.raises(AddressingError):
+        EndpointReference.from_element(el)
+
+
+def test_from_element_rejects_empty_address():
+    el = Element(QName(WSA_NS, "ReplyTo"))
+    el.add(Element(QName(WSA_NS, "Address"), text="   "))
+    with pytest.raises(AddressingError):
+        EndpointReference.from_element(el)
+
+
+def test_address_whitespace_trimmed():
+    el = Element(QName(WSA_NS, "ReplyTo"))
+    el.add(Element(QName(WSA_NS, "Address"), text="  http://x/  "))
+    assert EndpointReference.from_element(el).address == "http://x/"
+
+
+def test_copy_is_deep():
+    prop = Element(QName("urn:mb", "MailboxId"), text="abc")
+    epr = EndpointReference("http://x/", [prop])
+    dup = epr.copy()
+    dup.reference_properties[0].children[0] = "changed"
+    assert epr.reference_properties[0].text == "abc"

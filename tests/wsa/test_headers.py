@@ -1,0 +1,131 @@
+"""Tests for the WS-Addressing header block."""
+
+import pytest
+
+from repro.errors import AddressingError
+from repro.soap import Envelope
+from repro.wsa import WSA_NS, AddressingHeaders, EndpointReference
+from repro.xmlmini import Element, QName
+
+
+def body():
+    return Element(QName("urn:t", "op"))
+
+
+def full_headers() -> AddressingHeaders:
+    return AddressingHeaders(
+        to="http://dest/svc",
+        action="urn:t/op",
+        message_id="uuid:m1",
+        relates_to=["uuid:m0"],
+        from_=EndpointReference("http://src/"),
+        reply_to=EndpointReference("http://reply/"),
+        fault_to=EndpointReference("http://fault/"),
+    )
+
+
+def test_roundtrip_through_envelope():
+    hdr = full_headers()
+    env = Envelope(body(), headers=hdr.to_header_elements())
+    parsed = AddressingHeaders.from_envelope(
+        Envelope.from_bytes(env.to_bytes())
+    )
+    assert parsed.to == hdr.to
+    assert parsed.action == hdr.action
+    assert parsed.message_id == hdr.message_id
+    assert parsed.relates_to == hdr.relates_to
+    assert parsed.from_.address == "http://src/"
+    assert parsed.reply_to.address == "http://reply/"
+    assert parsed.fault_to.address == "http://fault/"
+
+
+def test_empty_envelope_gives_empty_headers():
+    hdr = AddressingHeaders.from_envelope(Envelope(body()))
+    assert hdr.to is None and hdr.message_id is None
+    assert hdr.relates_to == []
+
+
+def test_attach_replaces_existing_wsa_headers():
+    env = Envelope(body())
+    AddressingHeaders(to="http://first/", message_id="uuid:1").attach(env)
+    AddressingHeaders(to="http://second/", message_id="uuid:2").attach(env)
+    parsed = AddressingHeaders.from_envelope(env)
+    assert parsed.to == "http://second/"
+    assert parsed.message_id == "uuid:2"
+
+
+def test_attach_preserves_foreign_headers():
+    env = Envelope(body(), headers=[Element(QName("urn:other", "Keep"))])
+    AddressingHeaders(to="http://x/").attach(env)
+    assert env.find_header(QName("urn:other", "Keep")) is not None
+
+
+def test_duplicate_to_rejected():
+    env = Envelope(
+        body(),
+        headers=[
+            Element(QName(WSA_NS, "To"), text="a"),
+            Element(QName(WSA_NS, "To"), text="b"),
+        ],
+    )
+    with pytest.raises(AddressingError):
+        AddressingHeaders.from_envelope(env)
+
+
+def test_duplicate_reply_to_rejected():
+    epr = EndpointReference("http://r/")
+    env = Envelope(
+        body(),
+        headers=[
+            epr.to_element(QName(WSA_NS, "ReplyTo")),
+            epr.to_element(QName(WSA_NS, "ReplyTo")),
+        ],
+    )
+    with pytest.raises(AddressingError):
+        AddressingHeaders.from_envelope(env)
+
+
+def test_multiple_relates_to_allowed():
+    env = Envelope(
+        body(),
+        headers=[
+            Element(QName(WSA_NS, "RelatesTo"), text="uuid:1"),
+            Element(QName(WSA_NS, "RelatesTo"), text="uuid:2"),
+        ],
+    )
+    assert AddressingHeaders.from_envelope(env).relates_to == ["uuid:1", "uuid:2"]
+
+
+def test_unknown_wsa_header_rejected():
+    env = Envelope(body(), headers=[Element(QName(WSA_NS, "Bogus"))])
+    with pytest.raises(AddressingError):
+        AddressingHeaders.from_envelope(env)
+
+
+def test_require_helpers():
+    hdr = AddressingHeaders()
+    with pytest.raises(AddressingError):
+        hdr.require_to()
+    with pytest.raises(AddressingError):
+        hdr.require_message_id()
+    hdr.to = "http://x/"
+    hdr.message_id = "uuid:1"
+    assert hdr.require_to() == "http://x/"
+    assert hdr.require_message_id() == "uuid:1"
+
+
+def test_reference_headers_attached_verbatim():
+    ref = Element(QName("urn:mb", "MailboxId"), text="box-1")
+    hdr = AddressingHeaders(to="http://mb/", reference_headers=[ref])
+    env = Envelope(body())
+    hdr.attach(env)
+    assert env.find_header(QName("urn:mb", "MailboxId")).text == "box-1"
+
+
+def test_copy_is_deep():
+    hdr = full_headers()
+    dup = hdr.copy()
+    dup.relates_to.append("uuid:extra")
+    dup.reply_to.address = "http://other/"
+    assert hdr.relates_to == ["uuid:m0"]
+    assert hdr.reply_to.address == "http://reply/"

@@ -1,0 +1,67 @@
+"""Tests for qualified names."""
+
+import pytest
+
+from repro.errors import XmlError
+from repro.xmlmini.names import QName, is_ncname, split_prefixed
+
+
+class TestIsNcname:
+    @pytest.mark.parametrize("name", ["a", "Envelope", "_x", "a-b.c1", "héllo"])
+    def test_valid(self, name):
+        assert is_ncname(name)
+
+    @pytest.mark.parametrize("name", ["", "1abc", "-a", "a b", "a:b", "a<b"])
+    def test_invalid(self, name):
+        assert not is_ncname(name)
+
+
+class TestSplitPrefixed:
+    def test_unprefixed(self):
+        assert split_prefixed("local") == (None, "local")
+
+    def test_prefixed(self):
+        assert split_prefixed("soap:Envelope") == ("soap", "Envelope")
+
+    @pytest.mark.parametrize("bad", [":x", "x:", "a:b:c"])
+    def test_malformed(self, bad):
+        with pytest.raises(XmlError):
+            split_prefixed(bad)
+
+
+class TestQName:
+    def test_equality_and_hash(self):
+        a = QName("urn:x", "tag")
+        b = QName("urn:x", "tag")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != QName("urn:y", "tag")
+        assert a != QName("urn:x", "other")
+
+    def test_not_equal_to_strings(self):
+        assert QName(None, "tag") != "tag"
+
+    def test_rejects_invalid_local(self):
+        with pytest.raises(XmlError):
+            QName("urn:x", "bad name")
+
+    def test_rejects_empty_namespace(self):
+        with pytest.raises(XmlError):
+            QName("", "tag")
+
+    def test_clark_roundtrip(self):
+        q = QName("urn:x", "tag")
+        assert q.clark() == "{urn:x}tag"
+        assert QName.from_clark(q.clark()) == q
+
+    def test_clark_no_namespace(self):
+        q = QName(None, "tag")
+        assert q.clark() == "tag"
+        assert QName.from_clark("tag") == q
+
+    def test_from_clark_malformed(self):
+        with pytest.raises(XmlError):
+            QName.from_clark("{unclosed")
+
+    def test_repr(self):
+        assert "tag" in repr(QName(None, "tag"))

@@ -1,0 +1,159 @@
+"""Tests for the from-scratch XML parser."""
+
+import pytest
+
+from repro.errors import XmlParseError
+from repro.xmlmini import Element, QName, parse
+
+
+class TestBasicParsing:
+    def test_empty_element(self):
+        e = parse("<root/>")
+        assert e.name == QName(None, "root")
+        assert e.children == []
+
+    def test_text_content(self):
+        assert parse("<a>hello</a>").text == "hello"
+
+    def test_nested_elements(self):
+        e = parse("<a><b><c/></b></a>")
+        assert e.require("b").require("c").name.local == "c"
+
+    def test_attributes(self):
+        e = parse('<a x="1" y=\'2\'/>')
+        assert e.get("x") == "1"
+        assert e.get("y") == "2"
+
+    def test_mixed_content(self):
+        e = parse("<a>pre<b/>post</a>")
+        assert e.children[0] == "pre"
+        assert isinstance(e.children[1], Element)
+        assert e.children[2] == "post"
+
+    def test_xml_declaration_and_bom(self):
+        assert parse('﻿<?xml version="1.0"?><a/>').name.local == "a"
+
+    def test_bytes_input_utf8(self):
+        assert parse("<a>é</a>".encode("utf-8")).text == "é"
+
+    def test_invalid_utf8_bytes(self):
+        with pytest.raises(XmlParseError):
+            parse(b"<a>\xff\xfe</a>")
+
+    def test_comments_skipped(self):
+        e = parse("<a><!-- note --><b/></a>")
+        assert [c.name.local for c in e.element_children()] == ["b"]
+
+    def test_processing_instruction_skipped(self):
+        e = parse("<a><?php echo ?><b/></a>")
+        assert e.find("b") is not None
+
+    def test_cdata(self):
+        assert parse("<a><![CDATA[<not> & parsed]]></a>").text == "<not> & parsed"
+
+    def test_whitespace_in_tags(self):
+        e = parse('<a  x="1"\n  y="2" ></a >')
+        assert e.get("x") == "1" and e.get("y") == "2"
+
+
+class TestEntities:
+    def test_predefined(self):
+        assert parse("<a>&lt;&gt;&amp;&apos;&quot;</a>").text == "<>&'\""
+
+    def test_numeric_decimal_and_hex(self):
+        assert parse("<a>&#65;&#x42;</a>").text == "AB"
+
+    def test_unknown_entity(self):
+        with pytest.raises(XmlParseError):
+            parse("<a>&nbsp;</a>")
+
+    def test_surrogate_reference_rejected(self):
+        with pytest.raises(XmlParseError):
+            parse("<a>&#xD800;</a>")
+
+    def test_entities_in_attributes(self):
+        assert parse('<a x="&lt;&quot;"/>').get("x") == '<"'
+
+
+class TestNamespaces:
+    def test_default_namespace(self):
+        e = parse('<a xmlns="urn:x"><b/></a>')
+        assert e.name == QName("urn:x", "a")
+        assert e.find(QName("urn:x", "b")) is not None
+
+    def test_prefixed_namespace(self):
+        e = parse('<p:a xmlns:p="urn:x"/>')
+        assert e.name == QName("urn:x", "a")
+
+    def test_default_ns_does_not_apply_to_attributes(self):
+        e = parse('<a xmlns="urn:x" k="v"/>')
+        assert e.get(QName(None, "k")) == "v"
+
+    def test_prefixed_attribute(self):
+        e = parse('<a xmlns:p="urn:x" p:k="v"/>')
+        assert e.get(QName("urn:x", "k")) == "v"
+
+    def test_scope_shadowing(self):
+        e = parse('<a xmlns="urn:outer"><b xmlns="urn:inner"/><c/></a>')
+        children = list(e.element_children())
+        assert children[0].name.ns == "urn:inner"
+        assert children[1].name.ns == "urn:outer"
+
+    def test_default_ns_undeclaration(self):
+        e = parse('<a xmlns="urn:x"><b xmlns=""/></a>')
+        assert next(e.element_children()).name.ns is None
+
+    def test_undeclared_prefix_rejected(self):
+        with pytest.raises(XmlParseError):
+            parse("<p:a/>")
+
+    def test_xml_prefix_implicit(self):
+        e = parse('<a xml:lang="en"/>')
+        assert e.get(QName("http://www.w3.org/XML/1998/namespace", "lang")) == "en"
+
+
+class TestMalformed:
+    @pytest.mark.parametrize(
+        "doc",
+        [
+            "",
+            "<a>",
+            "<a></b>",
+            "<a",
+            "<a x=1/>",
+            "<a x='1' x='2'/>",
+            "text only",
+            "<a/><b/>",
+            "<a><b></a></b>",
+            '<a x="<"/>',
+            "<a>&unterminated",
+            "<!-- -- --><a/>",
+            "<1abc/>",
+        ],
+    )
+    def test_rejected(self, doc):
+        with pytest.raises(XmlParseError):
+            parse(doc)
+
+    def test_duplicate_namespaced_attribute(self):
+        with pytest.raises(XmlParseError):
+            parse('<a xmlns:p="urn:x" xmlns:q="urn:x" p:k="1" q:k="2"/>')
+
+    def test_doctype_rejected(self):
+        with pytest.raises(XmlParseError):
+            parse('<!DOCTYPE a [<!ENTITY e "boom">]><a>&e;</a>')
+
+    def test_error_reports_line(self):
+        try:
+            parse("<a>\n\n<bad")
+        except XmlParseError as exc:
+            assert exc.line == 3
+        else:  # pragma: no cover
+            pytest.fail("expected XmlParseError")
+
+    def test_content_after_root(self):
+        with pytest.raises(XmlParseError):
+            parse("<a/>trailing")
+
+    def test_comment_and_pi_after_root_allowed(self):
+        assert parse("<a/><!-- bye --><?pi ?>").name.local == "a"

@@ -1,0 +1,72 @@
+"""Property-based tests: serialize∘parse is the identity on element trees."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.xmlmini import Element, QName, parse, serialize
+
+_ns = st.sampled_from(
+    [None, "urn:a", "urn:b", "http://schemas.xmlsoap.org/soap/envelope/"]
+)
+_local = st.from_regex(r"[A-Za-z_][A-Za-z0-9._-]{0,8}", fullmatch=True)
+# text without lone surrogates or control chars the writer doesn't escape
+_text = st.text(
+    alphabet=st.characters(
+        blacklist_categories=("Cs", "Cc"),
+        whitelist_characters=" \t\n",
+    ),
+    max_size=20,
+)
+
+
+@st.composite
+def qnames(draw):
+    return QName(draw(_ns), draw(_local))
+
+
+@st.composite
+def elements(draw, depth=3):
+    el = Element(draw(qnames()))
+    for _ in range(draw(st.integers(0, 3))):
+        el.attrs[draw(qnames())] = draw(_text)
+    if depth > 0:
+        n = draw(st.integers(0, 3))
+        for _ in range(n):
+            if draw(st.booleans()):
+                child = draw(elements(depth=depth - 1))
+                el.children.append(child)
+            else:
+                el.children.append(draw(_text))
+    return el
+
+
+@given(elements())
+@settings(max_examples=150, deadline=None)
+def test_serialize_parse_roundtrip(tree):
+    assert parse(serialize(tree)) == tree
+
+
+@given(elements())
+@settings(max_examples=75, deadline=None)
+def test_roundtrip_with_xml_declaration(tree):
+    assert parse(serialize(tree, xml_decl=True)) == tree
+
+
+@given(elements())
+@settings(max_examples=75, deadline=None)
+def test_serialization_is_stable(tree):
+    """Serializing the same tree twice yields identical bytes."""
+    assert serialize(tree) == serialize(tree)
+
+
+@given(elements())
+@settings(max_examples=75, deadline=None)
+def test_copy_serializes_identically(tree):
+    assert serialize(tree.copy()) == serialize(tree)
+
+
+@given(_text)
+@settings(max_examples=100, deadline=None)
+def test_text_content_preserved_exactly(text):
+    el = Element("t", text=text)
+    reparsed = parse(serialize(el))
+    assert reparsed.text == text
