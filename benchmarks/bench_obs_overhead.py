@@ -1,0 +1,177 @@
+"""Observability overhead guard.
+
+Runs the Figure 6 "MSG-D + MsgBox" configuration with every message
+traced, twice: once with the metrics registry and trace store enabled,
+once with both in no-op mode.  The guard asserts the enabled run's
+throughput stays within 5 % of the disabled baseline.
+
+Recording consumes no *simulated* time and trace headers are attached to
+traced messages regardless of store enablement (so the wire bytes are
+identical), which means the simulated messages/minute should in fact be
+identical — the 5 % band is headroom, not an expectation.  The real
+overhead (Python-side recording cost) shows up in the wall-clock times,
+which are reported alongside.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+from repro.core.registry import ServiceRegistry
+from repro.core.sim_dispatcher import SimMsgDispatcher, SimMsgDispatcherConfig
+from repro.experiments.common import (
+    CLIENT_CALL_OVERHEAD,
+    DISPATCHER_SERVICE_TIME,
+    SOAP_SERVICE_TIME,
+)
+from repro.http import Headers, HttpRequest
+from repro.msgbox import MailboxStore, MsgBoxService
+from repro.msgbox.service import make_mailbox_epr
+from repro.obs import MetricsRegistry, TraceStore, ensure_trace
+from repro.rt.service import SoapHttpApp
+from repro.simnet.httpsim import SimHttpServer
+from repro.simnet.kernel import Simulator
+from repro.simnet.scenarios import BACKBONE_IU, INRIA, add_site
+from repro.simnet.services import SimAsyncEchoService
+from repro.simnet.topology import Network
+from repro.soap.constants import SOAP11_CONTENT_TYPE
+from repro.util.ids import IdGenerator
+from repro.workload.echo import make_echo_message
+from repro.workload.sim_testclient import SimRampConfig, SimRampTester
+
+
+def _run_traced_msgbox(clients: int, duration: float, enabled: bool):
+    """One fig6-style MsgBox run with traced traffic; returns
+    (per_minute, wall_seconds, metrics, traces)."""
+    metrics = MetricsRegistry(enabled=enabled)
+    traces = TraceStore(enabled=enabled)
+
+    sim = Simulator()
+    net = Network(sim)
+    client_host = add_site(net, INRIA, name="inria")
+    ws_host = add_site(net, replace(BACKBONE_IU, name="iuWS"), open_ports=(9000,))
+    wsd_host = add_site(
+        net, replace(BACKBONE_IU, name="iuWSD"), open_ports=(8000, 8500)
+    )
+
+    echo_ws = SimAsyncEchoService(
+        net, ws_host, reply_senders=32, connect_timeout=4.0, traces=traces
+    )
+    SimHttpServer(
+        net, ws_host, 9000, echo_ws.handler, workers=32,
+        service_time=SOAP_SERVICE_TIME,
+    )
+
+    registry = ServiceRegistry(metrics=metrics)
+    registry.register("echo", "http://iuWS:9000/echo")
+    config = SimMsgDispatcherConfig(
+        cx_workers=4,
+        ws_workers=8,
+        accept_queue=128,
+        destination_queue=16,
+        parallel_per_destination=4,
+        connect_timeout=4.0,
+        shed_on_full=False,
+        passthrough_reply_prefixes=("http://iuWSD:8500/mailbox",),
+    )
+    dispatcher = SimMsgDispatcher(
+        net, wsd_host, registry, own_address="http://iuWSD:8000/msg",
+        config=config, metrics=metrics, traces=traces,
+    )
+    SimHttpServer(
+        net, wsd_host, 8000, dispatcher.handler, workers=32,
+        service_time=DISPATCHER_SERVICE_TIME,
+    )
+
+    store = MailboxStore(clock=sim.clock, max_messages_per_box=100_000)
+    msgbox = MsgBoxService(
+        store, base_url="http://iuWSD:8500/mailbox",
+        clock=sim.clock, metrics=metrics, traces=traces,
+    )
+    mb_app = SoapHttpApp()
+    mb_app.mount("/mailbox", msgbox)
+    SimHttpServer(
+        net, wsd_host, 8500,
+        lambda req: mb_app.handle_request(req, None),
+        workers=32,
+        service_time=SOAP_SERVICE_TIME,
+    )
+
+    ids = IdGenerator("obs-bench", seed=clients)
+    eprs = [
+        make_mailbox_epr("http://iuWSD:8500/mailbox", store.create())
+        for _ in range(max(clients, 1))
+    ]
+
+    def factory(counter=[0]):
+        counter[0] += 1
+        env = make_echo_message(
+            to="urn:wsd:echo",
+            message_id=ids.next(),
+            reply_to=eprs[counter[0] % len(eprs)],
+        )
+        ensure_trace(env)  # every message traced, in both modes
+        headers = Headers()
+        headers.set("Content-Type", SOAP11_CONTENT_TYPE)
+        return HttpRequest("POST", "/msg/echo", headers=headers, body=env.to_bytes())
+
+    tester = SimRampTester(net, client_host, "iuWSD", 8000, "/msg/echo", factory)
+    ramp = SimRampConfig(
+        clients=clients,
+        duration=duration,
+        connect_timeout=10.0,
+        response_timeout=10.0,
+        think_time=CLIENT_CALL_OVERHEAD,
+    )
+    t0 = time.perf_counter()
+    result = tester.run(ramp)
+    wall = time.perf_counter() - t0
+    return result.per_minute, wall, metrics, traces
+
+
+def test_obs_overhead_within_five_percent(benchmark, paper_scale, record_report):
+    clients, duration = (50, 60.0) if paper_scale else (20, 30.0)
+
+    def run_both():
+        base_pm, base_wall, base_metrics, base_traces = _run_traced_msgbox(
+            clients, duration, enabled=False
+        )
+        obs_pm, obs_wall, obs_metrics, obs_traces = _run_traced_msgbox(
+            clients, duration, enabled=True
+        )
+        return {
+            "baseline": (base_pm, base_wall, base_metrics, base_traces),
+            "observed": (obs_pm, obs_wall, obs_metrics, obs_traces),
+        }
+
+    out = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    base_pm, base_wall, base_metrics, base_traces = out["baseline"]
+    obs_pm, obs_wall, obs_metrics, obs_traces = out["observed"]
+
+    # the disabled run really recorded nothing ...
+    assert base_metrics.snapshot() == {}
+    assert len(base_traces) == 0
+    # ... and the enabled run really observed the traffic
+    delivered = obs_metrics.snapshot()["msgd_delivered_total"]["samples"][0]["value"]
+    assert delivered > 0
+    assert len(obs_traces) > 0
+
+    assert base_pm > 0
+    overhead = abs(obs_pm - base_pm) / base_pm
+    record_report(
+        "obs_overhead",
+        (
+            f"Observability overhead guard ({clients} clients, "
+            f"{duration:.0f}s simulated)\n"
+            f"  disabled: {base_pm:.0f} msgs/min  (wall {base_wall:.2f}s)\n"
+            f"  enabled:  {obs_pm:.0f} msgs/min  (wall {obs_wall:.2f}s)\n"
+            f"  throughput delta: {overhead:.2%} (guard: <= 5%)\n"
+            f"  traces captured: {len(obs_traces)} (ring capacity "
+            f"{obs_traces.capacity})"
+        ),
+    )
+    assert overhead <= 0.05, (
+        f"observability overhead {overhead:.2%} exceeds 5% "
+        f"(enabled {obs_pm:.0f} vs disabled {base_pm:.0f} msgs/min)"
+    )

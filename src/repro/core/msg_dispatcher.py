@@ -18,10 +18,20 @@ a pending correlation entry, and are forwarded to the client's original
 
 from __future__ import annotations
 
+import logging
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import ReproError, RoutingError, TransportError, UnknownServiceError
+from repro.obs.logkv import component_logger, log_event
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.trace import (
+    TraceContext,
+    TraceStore,
+    attach_trace,
+    default_trace_store,
+    extract_trace,
+)
 from repro.reliable.policy import RetryPolicy
 from repro.rt.client import HttpClient
 from repro.rt.service import RequestContext
@@ -76,6 +86,12 @@ class _OutboundItem:
     #: to RPC service, "translation of semantics from messaging to RPC")
     message_id: str | None = None
     attempts: int = 0
+    #: observability: the message's trace context (None when untraced),
+    #: the upstream span to parent delivery spans on, and when the item
+    #: entered the destination queue
+    trace: TraceContext | None = None
+    parent_span_id: str | None = None
+    enqueued_at: float = 0.0
 
 
 class _Destination:
@@ -106,6 +122,8 @@ class MsgDispatcher:
         hold_store: "object | None" = None,
         hold_pump_interval: float = 0.25,
         inspector: "object | None" = None,
+        metrics: MetricsRegistry | None = None,
+        traces: TraceStore | None = None,
     ) -> None:
         """``hold_store`` (a :class:`~repro.reliable.HoldRetryStore`) turns
         on the future-work reliable delivery: messages whose immediate
@@ -116,7 +134,14 @@ class MsgDispatcher:
 
         ``inspector`` is the "message security inspection" hook (same
         shape as the RPC-Dispatcher's): called with (envelope, logical
-        name) before forwarding; raising rejects the message."""
+        name) before forwarding; raising rejects the message.
+
+        ``metrics``/``traces`` override the process-wide observability
+        sinks (:func:`~repro.obs.metrics.default_registry`,
+        :func:`~repro.obs.trace.default_trace_store`).  The dispatcher
+        never *creates* traces — it only continues contexts already on
+        the message, so untraced traffic stays byte-identical on the
+        wire."""
         self.registry = registry
         self.client = client
         self.own_address = own_address
@@ -126,9 +151,41 @@ class MsgDispatcher:
         self.hold_store = hold_store
         self.inspector = inspector
         self.counters = Counter()
+        self.metrics = metrics if metrics is not None else default_registry()
+        self.traces = traces if traces is not None else default_trace_store()
+        self._log = component_logger("msgd")
 
-        self._accept_queue: ClosableQueue[tuple[Envelope, str]] = ClosableQueue(
+        self._accept_queue: ClosableQueue[tuple] = ClosableQueue(
             self.config.accept_queue
+        )
+        self._m_accepted = self.metrics.counter(
+            "msgd_accepted_total", "messages admitted to the accept queue"
+        )
+        self._m_dropped = self.metrics.counter(
+            "msgd_dropped_total", "messages dropped, by reason"
+        )
+        self._m_delivered = self.metrics.counter(
+            "msgd_delivered_total", "messages delivered to their destination"
+        )
+        self._m_retries = self.metrics.counter(
+            "msgd_retries_total", "in-line delivery retries"
+        )
+        self._m_queue_wait = self.metrics.histogram(
+            "msgd_queue_wait_seconds",
+            "time spent waiting in dispatcher queues, by queue",
+            bucket_width=0.001,
+        )
+        self._m_transmit = self.metrics.histogram(
+            "msgd_transmit_seconds",
+            "time spent transmitting to the destination",
+            bucket_width=0.001,
+        )
+        self.metrics.gauge(
+            "msgd_accept_queue_depth", "messages waiting for a CxThread"
+        ).set_function(lambda: len(self._accept_queue))
+        self._m_dest_depth = self.metrics.gauge(
+            "msgd_destination_queue_depth",
+            "messages waiting for a WsThread, by destination",
         )
         self._correlations: dict[str, _Correlation] = {}
         self._destinations: dict[str, _Destination] = {}
@@ -168,40 +225,89 @@ class MsgDispatcher:
     # -- SoapService entry point (step 1-2 of Fig. 3) ----------------------
     def handle(self, envelope: Envelope, ctx: RequestContext) -> None:
         """Accept a one-way message; processing continues on the pools."""
+        t_arrival = self.clock.now()
+        trace = extract_trace(envelope)
+        self._admit(envelope, ctx.path, trace, t_arrival)
+        return None  # HTTP layer answers 202 Accepted
+
+    def _admit(
+        self,
+        envelope: Envelope,
+        path: str,
+        trace: TraceContext | None,
+        t_arrival: float,
+    ) -> None:
+        trace_id = trace.trace_id if trace else None
         try:
-            accepted = self._accept_queue.try_put((envelope, ctx.path))
+            accepted = self._accept_queue.try_put(
+                (envelope, path, trace, t_arrival)
+            )
         except QueueClosed:
             raise ReproError("dispatcher is shut down") from None
         if not accepted:
             self.counters.inc("dropped_accept_queue_full")
+            self._m_dropped.labels(reason="accept_queue_full").inc()
+            log_event(
+                self._log, logging.WARNING, "drop",
+                trace=trace_id, reason="accept_queue_full", path=path,
+            )
             raise ReproError("dispatcher accept queue full")
         self.counters.inc("accepted")
-        return None  # HTTP layer answers 202 Accepted
+        self._m_accepted.inc()
+        if trace is not None:
+            self.traces.record(
+                trace.trace_id, "admit", "msgd",
+                t_arrival, self.clock.now(),
+                parent_id=trace.parent_span_id, path=path,
+            )
+        log_event(self._log, logging.DEBUG, "admit", trace=trace_id, path=path)
 
     # -- CxThread: routing + rewriting (steps 2-4 of Fig. 3) ---------------
     def _cx_loop(self) -> None:
         while True:
             try:
-                envelope, path = self._accept_queue.get()
+                envelope, path, trace, t_enq = self._accept_queue.get()
             except QueueClosed:
                 return
+            t_deq = self.clock.now()
+            self._m_queue_wait.labels(queue="accept").observe(t_deq - t_enq)
+            if trace is not None:
+                self.traces.record(
+                    trace.trace_id, "queue-wait", "msgd",
+                    t_enq, t_deq,
+                    parent_id=trace.parent_span_id, queue="accept",
+                )
             try:
-                self._route_one(envelope, path)
+                self._route_one(envelope, path, trace, t_deq)
             except ReproError:
                 self.counters.inc("dropped_unroutable")
+                self._m_dropped.labels(reason="unroutable").inc()
+                log_event(
+                    self._log, logging.WARNING, "drop",
+                    trace=trace.trace_id if trace else None,
+                    reason="unroutable", path=path,
+                )
             except Exception:  # noqa: BLE001 - keep pool threads alive
                 self.counters.inc("internal_errors")
 
-    def _route_one(self, envelope: Envelope, path: str) -> None:
+    def _route_one(
+        self,
+        envelope: Envelope,
+        path: str,
+        trace: TraceContext | None = None,
+        t_start: float | None = None,
+    ) -> None:
         headers = AddressingHeaders.from_envelope(envelope)
         now = self.clock.now()
+        if t_start is None:
+            t_start = now
         self._expire_correlations(now)
 
         # A response from a WS? (RelatesTo hits a pending correlation)
         for rel in headers.relates_to:
             corr = self._pop_correlation(rel)
             if corr is not None:
-                self._route_response(envelope, headers, corr)
+                self._route_response(envelope, headers, corr, trace, t_start)
                 return
 
         # A fresh client request: logical → physical, rewrite, enqueue.
@@ -221,6 +327,7 @@ class MsgDispatcher:
                 self.inspector(envelope, logical)
             except ReproError:
                 self.counters.inc("rejected_by_inspector")
+                self._m_dropped.labels(reason="inspector").inc()
                 raise
 
         result = rewrite_for_forwarding(
@@ -234,20 +341,45 @@ class MsgDispatcher:
                     fault_to=result.original_fault_to,
                     expires_at=now + self.config.correlation_ttl,
                 )
+        route_sid = None
+        if trace is not None:
+            # Pre-allocate the route span's id so the forwarded message
+            # can name it as the downstream parent before it is recorded.
+            # Attached even when the store is disabled so the wire bytes
+            # of traced traffic never depend on store enablement.
+            route_sid = self.traces.new_span_id()
+            attach_trace(result.envelope, trace.child(route_sid))
         self._enqueue(
-            result.envelope.to_bytes(), physical, message_id=result.message_id
+            result.envelope.to_bytes(), physical,
+            message_id=result.message_id,
+            trace=trace, parent_span_id=route_sid,
         )
         self.counters.inc("routed_requests")
+        if route_sid is not None:
+            self.traces.record(
+                trace.trace_id, "route", "msgd",
+                t_start, self.clock.now(),
+                span_id=route_sid, parent_id=trace.parent_span_id,
+                logical=logical, dest=physical,
+            )
+        log_event(
+            self._log, logging.DEBUG, "route",
+            trace=trace.trace_id if trace else None,
+            logical=logical, dest=physical,
+        )
 
     def _route_response(
         self,
         envelope: Envelope,
         headers: AddressingHeaders,
         corr: _Correlation,
+        trace: TraceContext | None = None,
+        t_start: float | None = None,
     ) -> None:
         target = corr.fault_to if envelope.is_fault() and corr.fault_to else corr.reply_to
         if target is None or target.is_anonymous:
             self.counters.inc("dropped_no_reply_to")
+            self._m_dropped.labels(reason="no_reply_to").inc()
             return
         out = envelope.copy()
         new_headers = headers.copy()
@@ -258,8 +390,28 @@ class MsgDispatcher:
             p.copy() for p in target.reference_properties
         )
         new_headers.attach(out)
-        self._enqueue(out.to_bytes(), target.address)
+        route_sid = None
+        if trace is not None:
+            route_sid = self.traces.new_span_id()
+            attach_trace(out, trace.child(route_sid))
+        self._enqueue(
+            out.to_bytes(), target.address,
+            trace=trace, parent_span_id=route_sid,
+        )
         self.counters.inc("routed_responses")
+        if route_sid is not None:
+            self.traces.record(
+                trace.trace_id, "route", "msgd",
+                t_start if t_start is not None else self.clock.now(),
+                self.clock.now(),
+                span_id=route_sid, parent_id=trace.parent_span_id,
+                direction="response", dest=target.address,
+            )
+        log_event(
+            self._log, logging.DEBUG, "route",
+            trace=trace.trace_id if trace else None,
+            direction="response", dest=target.address,
+        )
 
     # -- correlation table ----------------------------------------------
     def _pop_correlation(self, message_id: str) -> _Correlation | None:
@@ -295,25 +447,45 @@ class MsgDispatcher:
         envelope_bytes: bytes,
         target_url: str,
         message_id: str | None = None,
+        trace: TraceContext | None = None,
+        parent_span_id: str | None = None,
     ) -> None:
+        trace_id = trace.trace_id if trace else None
         try:
             key = self._endpoint_key(target_url)
         except ReproError:
             self.counters.inc("dropped_unroutable")
+            self._m_dropped.labels(reason="unroutable").inc()
             return
         with self._lock:
             dest = self._destinations.get(key)
             if dest is None:
                 dest = _Destination(key, self.config.destination_queue)
                 self._destinations[key] = dest
+                self._m_dest_depth.labels(dest=key).set_function(
+                    lambda d=dest: len(d.queue)
+                )
         try:
-            item = _OutboundItem(envelope_bytes, target_url, message_id=message_id)
+            item = _OutboundItem(
+                envelope_bytes, target_url, message_id=message_id,
+                trace=trace, parent_span_id=parent_span_id,
+                enqueued_at=self.clock.now(),
+            )
             if not dest.queue.try_put(item):
                 self.counters.inc("dropped_destination_queue_full")
+                self._m_dropped.labels(reason="destination_queue_full").inc()
+                log_event(
+                    self._log, logging.WARNING, "drop",
+                    trace=trace_id, reason="destination_queue_full", dest=key,
+                )
                 return
         except QueueClosed:
             self.counters.inc("dropped_shutdown")
+            self._m_dropped.labels(reason="shutdown").inc()
             return
+        log_event(
+            self._log, logging.DEBUG, "enqueue", trace=trace_id, dest=key
+        )
         self._ensure_worker(dest)
 
     def _ensure_worker(self, dest: _Destination) -> None:
@@ -364,7 +536,20 @@ class MsgDispatcher:
             self._ensure_worker(d)
 
     def _deliver(self, item: _OutboundItem) -> None:
+        trace_id = item.trace.trace_id if item.trace else None
+        if item.attempts == 0:
+            t_deq = self.clock.now()
+            wait = t_deq - item.enqueued_at
+            self._m_queue_wait.labels(queue="destination").observe(wait)
+            if item.trace is not None:
+                self.traces.record(
+                    item.trace.trace_id, "queue-wait", "msgd",
+                    item.enqueued_at, t_deq,
+                    parent_id=item.parent_span_id, queue="destination",
+                    dest=item.target_url,
+                )
         item.attempts += 1
+        t_send = self.clock.now()
         try:
             response = self.client.request(
                 item.target_url,
@@ -378,16 +563,46 @@ class MsgDispatcher:
                 self.clock.sleep(retry.delay_before(item.attempts + 1))
                 self._enqueue_retry(item)
                 self.counters.inc("retries")
+                self._m_retries.inc()
+                log_event(
+                    self._log, logging.INFO, "retry",
+                    trace=trace_id, dest=item.target_url,
+                    attempts=item.attempts,
+                )
             elif self.hold_store is not None and item.message_id is not None:
                 # reliable mode: park the message for scheduled redelivery
                 self.hold_store.hold(
                     item.message_id, item.target_url, item.envelope_bytes
                 )
                 self.counters.inc("held_for_retry")
+                log_event(
+                    self._log, logging.INFO, "hold",
+                    trace=trace_id, dest=item.target_url,
+                )
             else:
                 self.counters.inc("delivery_failures")
+                self._m_dropped.labels(reason="delivery_failure").inc()
+                log_event(
+                    self._log, logging.WARNING, "drop",
+                    trace=trace_id, reason="delivery_failure",
+                    dest=item.target_url, attempts=item.attempts,
+                )
             return
+        t_done = self.clock.now()
         self.counters.inc("delivered")
+        self._m_delivered.inc()
+        self._m_transmit.observe(t_done - t_send)
+        if item.trace is not None:
+            self.traces.record(
+                item.trace.trace_id, "deliver", "msgd",
+                t_send, t_done,
+                parent_id=item.parent_span_id,
+                dest=item.target_url, attempts=item.attempts,
+            )
+        log_event(
+            self._log, logging.DEBUG, "deliver",
+            trace=trace_id, dest=item.target_url,
+        )
         self._absorb_inband_response(item, response)
 
     def _absorb_inband_response(self, item: _OutboundItem, response) -> None:
@@ -410,8 +625,17 @@ class MsgDispatcher:
         if not headers.to:
             headers.to = self.own_address
         headers.attach(envelope)
+        # An RPC service won't echo our trace header; continue the
+        # forwarded message's context on the synthesised response.
+        trace = extract_trace(envelope) or (
+            item.trace.child(item.parent_span_id)
+            if item.trace is not None and item.parent_span_id
+            else item.trace
+        )
         try:
-            if self._accept_queue.try_put((envelope, self.mount_prefix)):
+            if self._accept_queue.try_put(
+                (envelope, self.mount_prefix, trace, self.clock.now())
+            ):
                 self.counters.inc("inband_responses")
         except QueueClosed:
             pass

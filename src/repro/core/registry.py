@@ -19,12 +19,15 @@ policy, which is where the future-work load balancing plugs in
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import RegistryError, UnknownServiceError
+from repro.obs.logkv import component_logger, log_event
+from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.soap import Envelope, RpcResponse, build_rpc_response, parse_rpc_request
 from repro.util.textdb import TextFileMap
 
@@ -59,6 +62,7 @@ class ServiceRegistry:
         persist_path: str | None = None,
         selector: Callable[[ServiceRecord], str] | None = None,
         backend: object | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         """``backend`` is any TextFileMap-shaped store (put/get/remove/items)
         — e.g. :class:`~repro.util.sqldb.SqliteMap` for the paper's
@@ -66,6 +70,17 @@ class ServiceRegistry:
         for the text-file backend."""
         self._lock = threading.RLock()
         self._records: dict[str, ServiceRecord] = {}
+        self.metrics = metrics if metrics is not None else default_registry()
+        self._log = component_logger("registry")
+        self._m_lookups = self.metrics.counter(
+            "registry_lookups_total", "logical address resolutions attempted"
+        )
+        self._m_misses = self.metrics.counter(
+            "registry_misses_total", "resolutions that found no enabled service"
+        )
+        self.metrics.gauge(
+            "registry_services", "registered logical services"
+        ).set_function(lambda: len(self))
         if backend is not None:
             self._db = backend
         else:
@@ -93,6 +108,10 @@ class ServiceRegistry:
         with self._lock:
             self._records[logical] = record
             self._persist(record)
+        log_event(
+            self._log, logging.INFO, "register",
+            logical=logical, physical=",".join(addresses),
+        )
         return record
 
     def add_physical(self, logical: str, physical: str) -> None:
@@ -118,7 +137,9 @@ class ServiceRegistry:
             existed = self._records.pop(logical, None) is not None
             if existed and self._db is not None:
                 self._db.remove(logical)
-            return existed
+        if existed:
+            log_event(self._log, logging.INFO, "unregister", logical=logical)
+        return existed
 
     def set_enabled(self, logical: str, enabled: bool) -> None:
         with self._lock:
@@ -141,13 +162,20 @@ class ServiceRegistry:
 
     def lookup(self, logical: str) -> ServiceRecord:
         """Full record for a logical address (raises UnknownServiceError)."""
+        self._m_lookups.inc()
         with self._lock:
             self._lookups += 1
             record = self._records.get(logical)
             if record is None or not record.enabled:
                 self._misses += 1
-                raise UnknownServiceError(logical)
-            return record
+                miss = True
+            else:
+                miss = False
+        if miss:
+            self._m_misses.inc()
+            log_event(self._log, logging.DEBUG, "miss", logical=logical)
+            raise UnknownServiceError(logical)
+        return record
 
     def resolve(self, logical: str) -> str:
         """One physical address for a logical name, via the selector policy."""

@@ -18,6 +18,7 @@ timeout limits Table 1 describes.
 
 from __future__ import annotations
 
+import logging
 import threading
 from typing import Callable
 
@@ -30,9 +31,13 @@ from repro.errors import (
     XmlError,
 )
 from repro.http import Headers, HttpRequest, HttpResponse
+from repro.obs.logkv import component_logger, log_event
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.trace import TraceStore, default_trace_store, extract_trace
 from repro.rt.client import HttpClient
 from repro.rt.service import soap_fault_response
 from repro.soap import Envelope, Fault
+from repro.util.clock import Clock, MonotonicClock
 from repro.core.registry import ServiceRegistry
 from repro.core.routing import extract_logical
 
@@ -64,6 +69,9 @@ class RpcDispatcher:
         inspector: Callable[[Envelope, str], None] | None = None,
         max_body: int = 4 * 1024 * 1024,
         balancer: object | None = None,
+        clock: Clock | None = None,
+        metrics: MetricsRegistry | None = None,
+        traces: TraceStore | None = None,
     ) -> None:
         self.registry = registry
         self.client = client
@@ -72,6 +80,24 @@ class RpcDispatcher:
         self.max_body = max_body
         #: optional BalancerPolicy receiving on_start/on_finish feedback
         self.balancer = balancer
+        self.clock = clock or MonotonicClock()
+        self.metrics = metrics if metrics is not None else default_registry()
+        self.traces = traces if traces is not None else default_trace_store()
+        self._log = component_logger("rpcd")
+        self._m_forwarded = self.metrics.counter(
+            "rpcd_forwarded_total", "RPC exchanges proxied to a service"
+        )
+        self._m_rejected = self.metrics.counter(
+            "rpcd_rejected_total", "RPC requests rejected, by reason"
+        )
+        self._m_failed = self.metrics.counter(
+            "rpcd_failed_total", "RPC forwards that could not reach the service"
+        )
+        self._m_forward_time = self.metrics.histogram(
+            "rpcd_forward_seconds",
+            "blocking dispatcher-to-service exchange time",
+            bucket_width=0.001,
+        )
         self._lock = threading.Lock()
         self.forwarded = 0
         self.failed = 0
@@ -81,6 +107,14 @@ class RpcDispatcher:
         with self._lock:
             setattr(self, field, getattr(self, field) + 1)
 
+    def _reject(self, reason: str, trace_id: str | None = None) -> None:
+        self._count("rejected")
+        self._m_rejected.labels(reason=reason).inc()
+        log_event(
+            self._log, logging.WARNING, "reject",
+            trace=trace_id, reason=reason,
+        )
+
     # -- HttpServer handler --------------------------------------------------
     def handle_request(
         self, request: HttpRequest, peer: str | None = None
@@ -88,14 +122,14 @@ class RpcDispatcher:
         if request.method != "POST":
             return HttpResponse(status=405, body=b"RPC dispatcher accepts POST")
         if len(request.body) > self.max_body:
-            self._count("rejected")
+            self._reject("body_too_large")
             return soap_fault_response(
                 Fault("Client", "request body too large"), status=413
             )
         try:
             logical = extract_logical(request.target, self.mount_prefix)
         except ReproError as exc:
-            self._count("rejected")
+            self._reject("bad_target")
             return soap_fault_response(Fault("Client", str(exc)), status=404)
 
         # Copy the XML message into a new document (parse + re-serialize) —
@@ -103,25 +137,31 @@ class RpcDispatcher:
         try:
             envelope = Envelope.from_bytes(request.body)
         except (XmlError, SoapError) as exc:
-            self._count("rejected")
+            self._reject("invalid_soap")
             return soap_fault_response(
                 Fault("Client", f"invalid SOAP request: {exc}"), status=400
             )
+
+        trace = extract_trace(envelope)
+        trace_id = trace.trace_id if trace else None
+        log_event(
+            self._log, logging.DEBUG, "admit", trace=trace_id, logical=logical
+        )
 
         if self.inspector is not None:
             try:
                 self.inspector(envelope, logical)
             except AuthError as exc:
-                self._count("rejected")
+                self._reject("auth", trace_id)
                 return soap_fault_response(Fault("Client", str(exc)), status=401)
             except ReproError as exc:
-                self._count("rejected")
+                self._reject("inspector", trace_id)
                 return soap_fault_response(Fault("Client", str(exc)), status=403)
 
         try:
             physical = self.registry.resolve(logical)
         except UnknownServiceError as exc:
-            self._count("rejected")
+            self._reject("unknown_service", trace_id)
             return soap_fault_response(Fault("Client", str(exc)), status=404)
 
         headers = Headers()
@@ -136,17 +176,37 @@ class RpcDispatcher:
         )
         if self.balancer is not None:
             self.balancer.on_start(physical)
+        t_send = self.clock.now()
         try:
             response = self.client.request(physical, forward)
         except TransportError as exc:
             self._count("failed")
+            self._m_failed.inc()
+            log_event(
+                self._log, logging.WARNING, "drop",
+                trace=trace_id, reason="unreachable", dest=physical,
+            )
             return soap_fault_response(
                 Fault("Server", f"cannot reach {logical}: {exc}"), status=502
             )
         finally:
             if self.balancer is not None:
                 self.balancer.on_finish(physical)
+        t_done = self.clock.now()
         self._count("forwarded")
+        self._m_forwarded.inc()
+        self._m_forward_time.observe(t_done - t_send)
+        if trace is not None:
+            self.traces.record(
+                trace.trace_id, "forward", "rpcd",
+                t_send, t_done,
+                parent_id=trace.parent_span_id,
+                logical=logical, dest=physical,
+            )
+        log_event(
+            self._log, logging.DEBUG, "forward",
+            trace=trace_id, logical=logical, dest=physical,
+        )
         out_headers = Headers()
         ct = response.headers.get("Content-Type")
         if ct:

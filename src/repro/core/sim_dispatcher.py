@@ -10,6 +10,7 @@ a :class:`~repro.simnet.resources.Store`.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 from repro.errors import (
@@ -21,6 +22,15 @@ from repro.errors import (
     XmlError,
 )
 from repro.http import Headers, HttpRequest, HttpResponse
+from repro.obs.logkv import component_logger, log_event
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.trace import (
+    TraceContext,
+    TraceStore,
+    attach_trace,
+    default_trace_store,
+    extract_trace,
+)
 from repro.rt.service import soap_fault_response
 from repro.simnet.httpsim import SimHttpClientPool
 from repro.simnet.kernel import Simulator
@@ -62,6 +72,8 @@ class SimRpcDispatcher:
         connect_timeout: float = 21.0,
         response_timeout: float = 30.0,
         balancer: object | None = None,
+        metrics: MetricsRegistry | None = None,
+        traces: TraceStore | None = None,
     ) -> None:
         """``balancer`` (a :class:`~repro.core.loadbalance.BalancerPolicy`)
         receives on_start/on_finish load feedback per forwarded call so
@@ -77,6 +89,22 @@ class SimRpcDispatcher:
             response_timeout=response_timeout,
         )
         self.counters = Counter()
+        self.metrics = metrics if metrics is not None else default_registry()
+        self.traces = traces if traces is not None else default_trace_store()
+        self._log = component_logger("rpcd")
+        self._m_forwarded = self.metrics.counter(
+            "rpcd_forwarded_total", "RPC exchanges proxied to a service"
+        )
+        self._m_rejected = self.metrics.counter(
+            "rpcd_rejected_total", "RPC requests rejected, by reason"
+        )
+        self._m_failed = self.metrics.counter(
+            "rpcd_failed_total", "RPC forwards that could not reach the service"
+        )
+        self._m_forward_time = self.metrics.histogram(
+            "rpcd_forward_seconds",
+            "blocking dispatcher-to-service exchange time",
+        )
 
     def handler(self, request: HttpRequest):
         """Generator handler for :class:`~repro.simnet.httpsim.SimHttpServer`."""
@@ -87,29 +115,49 @@ class SimRpcDispatcher:
             envelope = Envelope.from_bytes(request.body)
         except (RoutingError, XmlError, SoapError) as exc:
             self.counters.inc("rejected")
+            self._m_rejected.labels(reason="bad_request").inc()
             return soap_fault_response(Fault("Client", str(exc)), status=400)
+        trace = extract_trace(envelope)
         try:
             physical = self.registry.resolve(logical)
         except UnknownServiceError as exc:
             self.counters.inc("rejected")
+            self._m_rejected.labels(reason="unknown_service").inc()
             return soap_fault_response(Fault("Client", str(exc)), status=404)
         endpoint, path = parse_http_url(physical)
         forward = _soap_post(path, envelope.to_bytes())
         if self.balancer is not None:
             self.balancer.on_start(physical)
+        t_send = self.net.sim.now
         try:
             response = yield from self.pool.exchange(
                 endpoint.host, endpoint.port, forward
             )
         except (TransportError, ReproError) as exc:
             self.counters.inc("failed")
+            self._m_failed.inc()
             return soap_fault_response(
                 Fault("Server", f"cannot reach {logical}: {exc}"), status=502
             )
         finally:
             if self.balancer is not None:
                 self.balancer.on_finish(physical)
+        t_done = self.net.sim.now
         self.counters.inc("forwarded")
+        self._m_forwarded.inc()
+        self._m_forward_time.observe(t_done - t_send)
+        if trace is not None:
+            self.traces.record(
+                trace.trace_id, "forward", "rpcd",
+                t_send, t_done,
+                parent_id=trace.parent_span_id,
+                logical=logical, dest=physical,
+            )
+        log_event(
+            self._log, logging.DEBUG, "forward",
+            trace=trace.trace_id if trace else None,
+            logical=logical, dest=physical,
+        )
         out = Headers()
         ct = response.headers.get("Content-Type")
         if ct:
@@ -162,6 +210,8 @@ class SimMsgDispatcher:
         own_address: str,
         mount_prefix: str = "/msg",
         config: SimMsgDispatcherConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+        traces: TraceStore | None = None,
     ) -> None:
         self.net = net
         self.sim: Simulator = net.sim
@@ -178,7 +228,34 @@ class SimMsgDispatcher:
             pool_per_destination=max(2, self.config.parallel_per_destination),
         )
         self.counters = Counter()
+        self.metrics = metrics if metrics is not None else default_registry()
+        self.traces = traces if traces is not None else default_trace_store()
+        self._log = component_logger("msgd")
         self._accept: Store = Store(self.sim, capacity=self.config.accept_queue)
+        self._m_accepted = self.metrics.counter(
+            "msgd_accepted_total", "messages admitted to the accept queue"
+        )
+        self._m_dropped = self.metrics.counter(
+            "msgd_dropped_total", "messages dropped, by reason"
+        )
+        self._m_delivered = self.metrics.counter(
+            "msgd_delivered_total", "messages delivered to their destination"
+        )
+        self._m_queue_wait = self.metrics.histogram(
+            "msgd_queue_wait_seconds",
+            "time spent waiting in dispatcher queues, by queue",
+        )
+        self._m_transmit = self.metrics.histogram(
+            "msgd_transmit_seconds",
+            "time spent transmitting to the destination",
+        )
+        self.metrics.gauge(
+            "msgd_accept_queue_depth", "messages waiting for a CxThread"
+        ).set_function(lambda: len(self._accept))
+        self._m_dest_depth = self.metrics.gauge(
+            "msgd_destination_queue_depth",
+            "messages waiting for a WsThread, by destination",
+        )
         self._correlations: dict[str, _SimCorrelation] = {}
         self._waiters: dict[str, object] = {}  # sync-bridge events by URI
         self._destinations: dict[str, Store] = {}
@@ -208,30 +285,67 @@ class SimMsgDispatcher:
             envelope = Envelope.from_bytes(request.body)
         except (XmlError, SoapError) as exc:
             self.counters.inc("rejected")
+            self._m_dropped.labels(reason="invalid_soap").inc()
             return soap_fault_response(Fault("Client", str(exc)), status=400)
+        t_arrival = self.sim.now
+        trace = extract_trace(envelope)
+        trace_id = trace.trace_id if trace else None
         if self.config.shed_on_full:
-            if not self._accept.try_put((envelope, request.target)):
+            if not self._accept.try_put(
+                (envelope, request.target, trace, t_arrival)
+            ):
                 self.counters.inc("dropped_accept_queue_full")
+                self._m_dropped.labels(reason="accept_queue_full").inc()
+                log_event(
+                    self._log, logging.WARNING, "drop",
+                    trace=trace_id, reason="accept_queue_full",
+                )
                 return HttpResponse(status=503, body=b"dispatcher overloaded")
         else:
-            yield self._accept.put((envelope, request.target))
+            yield self._accept.put((envelope, request.target, trace, t_arrival))
         self.counters.inc("accepted")
+        self._m_accepted.inc()
+        if trace is not None:
+            self.traces.record(
+                trace.trace_id, "admit", "msgd",
+                t_arrival, self.sim.now,
+                parent_id=trace.parent_span_id, path=request.target,
+            )
+        log_event(
+            self._log, logging.DEBUG, "admit",
+            trace=trace_id, path=request.target,
+        )
         return HttpResponse(status=202)
 
     # -- CxThread processes ---------------------------------------------------
     def _cx_loop(self):
         while self._running:
-            envelope, path = yield self._accept.get()
+            envelope, path, trace, t_enq = yield self._accept.get()
+            t_deq = self.sim.now
+            self._m_queue_wait.labels(queue="accept").observe(t_deq - t_enq)
+            if trace is not None:
+                self.traces.record(
+                    trace.trace_id, "queue-wait", "msgd",
+                    t_enq, t_deq,
+                    parent_id=trace.parent_span_id, queue="accept",
+                )
             try:
-                outbound = self._route_one(envelope, path)
+                outbound = self._route_one(envelope, path, trace)
             except ReproError:
                 self.counters.inc("dropped_unroutable")
+                self._m_dropped.labels(reason="unroutable").inc()
+                log_event(
+                    self._log, logging.WARNING, "drop",
+                    trace=trace.trace_id if trace else None,
+                    reason="unroutable", path=path,
+                )
                 continue
-            for body, target_url, message_id in outbound:
+            for body, target_url, message_id, parent_sid in outbound:
                 try:
                     endpoint, path = parse_http_url(target_url)
                 except ReproError:
                     self.counters.inc("dropped_unroutable")
+                    self._m_dropped.labels(reason="unroutable").inc()
                     continue
                 # WsThreads are bound to *endpoints* (host:port) — every
                 # mailbox on one WS-MsgBox service shares one connection
@@ -242,13 +356,15 @@ class SimMsgDispatcher:
                 # stall, the accept queue fills, and the HTTP front door
                 # starts shedding load — the backpressure chain a
                 # bounded-queue thread architecture produces.
-                yield store.put((path, body, message_id))
+                yield store.put(
+                    (path, body, message_id, trace, parent_sid, self.sim.now)
+                )
                 self._ensure_worker(dest_key, store)
 
     def _route_one(
-        self, envelope: Envelope, path: str
-    ) -> list[tuple[bytes, str, str | None]]:
-        """Pure routing decision: returns (bytes, target_url, message_id)."""
+        self, envelope: Envelope, path: str, trace: TraceContext | None = None
+    ) -> list[tuple[bytes, str, str | None, str | None]]:
+        """Pure routing decision: (bytes, target_url, message_id, route span)."""
         headers = AddressingHeaders.from_envelope(envelope)
         now = self.sim.now
 
@@ -258,7 +374,7 @@ class SimMsgDispatcher:
                 if corr.expires_at < now:
                     self.counters.inc("expired_correlations")
                     return []
-                return self._route_response(envelope, headers, corr)
+                return self._route_response(envelope, headers, corr, trace)
 
         to_addr = headers.to or path
         try:
@@ -280,15 +396,46 @@ class SimMsgDispatcher:
                 result.original_fault_to,
                 now + self.config.correlation_ttl,
             )
+        route_sid = self._route_span(trace, result.envelope, logical, physical)
         self.counters.inc("routed_requests")
-        return [(result.envelope.to_bytes(), physical, result.message_id)]
+        log_event(
+            self._log, logging.DEBUG, "route",
+            trace=trace.trace_id if trace else None,
+            logical=logical, dest=physical,
+        )
+        return [(result.envelope.to_bytes(), physical, result.message_id, route_sid)]
+
+    def _route_span(
+        self,
+        trace: TraceContext | None,
+        out_envelope: Envelope,
+        logical: str | None,
+        dest: str,
+    ) -> str | None:
+        """Record the (instantaneous) routing decision as a span and stamp
+        the outgoing envelope so downstream spans parent on it."""
+        if trace is None:
+            return None
+        # Stamp even when the store is disabled: the wire bytes of traced
+        # traffic must not depend on store enablement (the overhead
+        # benchmark compares the two modes on identical traffic).
+        route_sid = self.traces.new_span_id()
+        attach_trace(out_envelope, trace.child(route_sid))
+        self.traces.record(
+            trace.trace_id, "route", "msgd",
+            self.sim.now, self.sim.now,
+            span_id=route_sid, parent_id=trace.parent_span_id,
+            logical=logical or "", dest=dest,
+        )
+        return route_sid
 
     def _route_response(
         self,
         envelope: Envelope,
         headers: AddressingHeaders,
         corr: _SimCorrelation,
-    ) -> list[tuple[bytes, str, str | None]]:
+        trace: TraceContext | None = None,
+    ) -> list[tuple[bytes, str, str | None, str | None]]:
         target = (
             corr.fault_to if envelope.is_fault() and corr.fault_to else corr.reply_to
         )
@@ -300,6 +447,7 @@ class SimMsgDispatcher:
             return []
         if target is None or target.is_anonymous:
             self.counters.inc("dropped_no_reply_to")
+            self._m_dropped.labels(reason="no_reply_to").inc()
             return []
         out = envelope.copy()
         new_headers = headers.copy()
@@ -308,8 +456,14 @@ class SimMsgDispatcher:
             p.copy() for p in target.reference_properties
         )
         new_headers.attach(out)
+        route_sid = self._route_span(trace, out, None, target.address)
         self.counters.inc("routed_responses")
-        return [(out.to_bytes(), target.address, None)]
+        log_event(
+            self._log, logging.DEBUG, "route",
+            trace=trace.trace_id if trace else None,
+            direction="response", dest=target.address,
+        )
+        return [(out.to_bytes(), target.address, None, route_sid)]
 
     # -- WsThread processes -------------------------------------------------
     def _dest_store(self, target_url: str) -> Store:
@@ -317,6 +471,9 @@ class SimMsgDispatcher:
         if store is None:
             store = Store(self.sim, capacity=self.config.destination_queue)
             self._destinations[target_url] = store
+            self._m_dest_depth.labels(dest=target_url).set_function(
+                lambda s=store: len(s)
+            )
         return store
 
     def _ensure_worker(self, target_url: str, store: Store) -> None:
@@ -337,17 +494,23 @@ class SimMsgDispatcher:
         envelope_bytes: bytes,
         target_url: str,
         message_id: str | None = None,
+        trace: TraceContext | None = None,
+        parent_span_id: str | None = None,
     ) -> None:
         """Non-blocking enqueue (used off the CxThread path)."""
         try:
             endpoint, path = parse_http_url(target_url)
         except ReproError:
             self.counters.inc("dropped_unroutable")
+            self._m_dropped.labels(reason="unroutable").inc()
             return
         dest_key = f"{endpoint.host}:{endpoint.port}"
         store = self._dest_store(dest_key)
-        if not store.try_put((path, envelope_bytes, message_id)):
+        if not store.try_put(
+            (path, envelope_bytes, message_id, trace, parent_span_id, self.sim.now)
+        ):
             self.counters.inc("dropped_destination_queue_full")
+            self._m_dropped.labels(reason="destination_queue_full").inc()
             return
         self._ensure_worker(dest_key, store)
 
@@ -379,8 +542,8 @@ class SimMsgDispatcher:
                 slot = self._ws_slots.request()
                 yield slot
                 try:
-                    for path, body, message_id in batch:
-                        yield from self._deliver(host, port, path, body, message_id)
+                    for item in batch:
+                        yield from self._deliver(host, port, *item)
                 finally:
                     slot.release()
         finally:
@@ -397,7 +560,22 @@ class SimMsgDispatcher:
         path: str,
         body: bytes,
         message_id: str | None = None,
+        trace: TraceContext | None = None,
+        parent_span_id: str | None = None,
+        enqueued_at: float | None = None,
     ):
+        dest = f"{host}:{port}"
+        t_send = self.sim.now
+        if enqueued_at is not None:
+            self._m_queue_wait.labels(queue="destination").observe(
+                t_send - enqueued_at
+            )
+            if trace is not None:
+                self.traces.record(
+                    trace.trace_id, "queue-wait", "msgd",
+                    enqueued_at, t_send,
+                    parent_id=parent_span_id, queue="destination", dest=dest,
+                )
         try:
             response = yield from self.pool.exchange(
                 host, port, _soap_post(path, body)
@@ -406,11 +584,36 @@ class SimMsgDispatcher:
                 raise TransportError(f"HTTP {response.status}")
         except (TransportError, ReproError):
             self.counters.inc("delivery_failures")
+            self._m_dropped.labels(reason="delivery_failure").inc()
+            log_event(
+                self._log, logging.WARNING, "drop",
+                trace=trace.trace_id if trace else None,
+                reason="delivery_failure", dest=dest,
+            )
             return
+        t_done = self.sim.now
         self.counters.inc("delivered")
-        self._absorb_inband_response(response, message_id)
+        self._m_delivered.inc()
+        self._m_transmit.observe(t_done - t_send)
+        if trace is not None:
+            self.traces.record(
+                trace.trace_id, "deliver", "msgd",
+                t_send, t_done,
+                parent_id=parent_span_id, dest=dest,
+            )
+        log_event(
+            self._log, logging.DEBUG, "deliver",
+            trace=trace.trace_id if trace else None, dest=dest,
+        )
+        self._absorb_inband_response(response, message_id, trace, parent_span_id)
 
-    def _absorb_inband_response(self, response: HttpResponse, message_id: str | None) -> None:
+    def _absorb_inband_response(
+        self,
+        response: HttpResponse,
+        message_id: str | None,
+        trace: TraceContext | None = None,
+        parent_span_id: str | None = None,
+    ) -> None:
         """Quadrant 3 of Table 1: translate an in-band RPC reply into a
         one-way response message and re-inject it into the pipeline."""
         if response.status != 200 or not response.body or message_id is None:
@@ -426,7 +629,16 @@ class SimMsgDispatcher:
         if not headers.to:
             headers.to = self.own_address
         headers.attach(envelope)
-        if self._accept.try_put((envelope, self.mount_prefix)):
+        # An RPC service won't echo our trace header; continue the
+        # forwarded message's context on the synthesised response.
+        in_trace = extract_trace(envelope) or (
+            trace.child(parent_span_id)
+            if trace is not None and parent_span_id
+            else trace
+        )
+        if self._accept.try_put(
+            (envelope, self.mount_prefix, in_trace, self.sim.now)
+        ):
             self.counters.inc("inband_responses")
 
     # -- sync-over-async bridge (Table 1 quadrant 2) ------------------------
@@ -469,14 +681,18 @@ class SimMsgDispatcher:
 
         waiter = self.sim.event()
         self._waiters[sentinel] = waiter
+        trace = extract_trace(envelope)
         try:
-            outbound = self._route_one(envelope, request.target)
+            outbound = self._route_one(envelope, request.target, trace)
         except ReproError as exc:
             self._waiters.pop(sentinel, None)
             self.counters.inc("dropped_unroutable")
             return soap_fault_response(Fault("Client", str(exc)), status=404)
-        for body, target_url, out_mid in outbound:
-            self._enqueue(body, target_url, message_id=out_mid)
+        for body, target_url, out_mid, parent_sid in outbound:
+            self._enqueue(
+                body, target_url, message_id=out_mid,
+                trace=trace, parent_span_id=parent_sid,
+            )
         self.counters.inc("accepted")
         idx, value = yield self.sim.any_of(
             [waiter, self.sim.timeout(bridge_timeout)]

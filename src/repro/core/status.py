@@ -2,53 +2,59 @@
 
 The paper positions the WSD as production infrastructure ("integrated in
 existing infrastructure", Enterprise-Service-Bus-adjacent); production
-infrastructure needs an ops view.  :class:`StatusPage` renders the live
-counters of every registered component as a plain-text (or HTML) page
-mounted next to the registry listing.
+infrastructure needs an ops view.  The real machinery now lives in
+:class:`repro.obs.http.Introspection` (the unified ``GET /metrics`` +
+``GET /trace/<id>`` surface); :class:`StatusPage` remains as a thin
+compatibility wrapper that renders the same component sources as the
+legacy plain-text page.
 """
 
 from __future__ import annotations
 
-import threading
-from typing import Callable
-
 from repro.http import Headers, HttpRequest, HttpResponse
+from repro.obs.http import Introspection
 
 
 class StatusPage:
     """Aggregates named stat sources into one GET endpoint.
 
     A source is anything with a ``stats`` dict property (both dispatchers,
-    WS-MsgBox) or a callable returning a dict.
+    WS-MsgBox) or a callable returning a dict.  Backed by an
+    :class:`~repro.obs.http.Introspection`; the page is simply the
+    plain-text rendering of the introspection's component view, so the
+    same sources show up in ``GET /metrics`` JSON unchanged.
     """
 
-    def __init__(self, title: str = "WS-Dispatcher status") -> None:
+    def __init__(
+        self,
+        title: str = "WS-Dispatcher status",
+        introspection: Introspection | None = None,
+        suffix_duplicates: bool = False,
+    ) -> None:
+        """``suffix_duplicates=True`` renames colliding component names to
+        ``name#2`` instead of raising — duplicates are never silently
+        shadowed either way."""
         self.title = title
-        self._sources: list[tuple[str, Callable[[], dict]]] = []
-        self._lock = threading.Lock()
+        self._on_duplicate = "suffix" if suffix_duplicates else "error"
+        self._intro = introspection or Introspection(title=title)
 
-    def add(self, name: str, source: object) -> None:
-        """Register a component; ``source`` has ``.stats`` or is callable."""
-        if callable(source):
-            fetch = source
-        elif hasattr(source, "stats"):
-            fetch = lambda s=source: dict(s.stats)
-        else:
-            raise TypeError(f"{name}: source needs .stats or to be callable")
-        with self._lock:
-            self._sources.append((name, fetch))
+    @property
+    def introspection(self) -> Introspection:
+        """The backing introspection surface (for mounting ``/metrics``)."""
+        return self._intro
+
+    def add(self, name: str, source: object) -> str:
+        """Register a component; ``source`` has ``.stats`` or is callable.
+
+        Raises :class:`ValueError` on duplicate names (or suffixes them
+        when the page was built with ``suffix_duplicates=True``); returns
+        the name actually used.
+        """
+        return self._intro.add_source(name, source, on_duplicate=self._on_duplicate)
 
     def snapshot(self) -> dict[str, dict]:
         """Point-in-time counters of every component."""
-        out: dict[str, dict] = {}
-        with self._lock:
-            sources = list(self._sources)
-        for name, fetch in sources:
-            try:
-                out[name] = dict(fetch())
-            except Exception as exc:  # noqa: BLE001 - a broken source is data
-                out[name] = {"error": repr(exc)}
-        return out
+        return self._intro.components_snapshot()
 
     def render_text(self) -> str:
         lines = [f"# {self.title}"]

@@ -30,13 +30,18 @@ were working on) uses a bounded pool with load-shedding instead.
 from __future__ import annotations
 
 import base64
+import logging
 import threading
 from typing import Callable
 
 from repro.errors import MailboxError, MailboxNotFound, SoapError
 from repro.msgbox.security import MailboxSecurity
 from repro.msgbox.store import MailboxStore
+from repro.obs.logkv import component_logger, log_event
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.trace import TraceStore, default_trace_store, extract_trace
 from repro.rt.service import RequestContext
+from repro.util.clock import Clock, MonotonicClock
 from repro.soap import (
     Envelope,
     RpcResponse,
@@ -76,10 +81,32 @@ class MsgBoxService:
         ack_workers: int = 8,
         heap_limit_bytes: int = 64 * 1024 * 1024,
         thread_stack_bytes: int = 512 * 1024,
+        clock: Clock | None = None,
+        metrics: MetricsRegistry | None = None,
+        traces: TraceStore | None = None,
     ) -> None:
+        """``clock`` sets the timebase of recorded trace spans — pass the
+        deployment's shared clock (sim clock under simnet) so a trace's
+        spans stay in one clock domain."""
         if delivery_mode not in ("pooled", "thread-per-message", "none"):
             raise ValueError(f"unknown delivery_mode {delivery_mode!r}")
         self.store = store or MailboxStore()
+        self.clock = clock or MonotonicClock()
+        self.metrics = metrics if metrics is not None else default_registry()
+        self.traces = traces if traces is not None else default_trace_store()
+        self._log = component_logger("msgbox")
+        self._m_deposits = self.metrics.counter(
+            "msgbox_deposits_total", "one-way messages deposited into mailboxes"
+        )
+        self._m_takes = self.metrics.counter(
+            "msgbox_takes_total", "take operations served"
+        )
+        self._m_taken = self.metrics.counter(
+            "msgbox_messages_taken_total", "messages handed to polling owners"
+        )
+        self.metrics.gauge(
+            "msgbox_mailboxes", "live mailboxes in the store"
+        ).set_function(lambda: self.store.mailbox_count())
         self.security = security
         self.base_url = base_url
         self.delivery_mode = delivery_mode
@@ -173,6 +200,12 @@ class MsgBoxService:
                 messages = self.store.take(mailbox_id, max_messages=limit)
                 self.counters.inc("takes")
                 self.counters.inc("messages_taken", len(messages))
+                self._m_takes.inc()
+                self._m_taken.inc(len(messages))
+                log_event(
+                    self._log, logging.DEBUG, "take",
+                    mailbox=mailbox_id, messages=len(messages),
+                )
                 results = [
                     ("message", base64.b64encode(m).decode("ascii"))
                     for m in messages
@@ -192,6 +225,7 @@ class MsgBoxService:
 
     # -- deposits -----------------------------------------------------------
     def _handle_deposit(self, envelope: Envelope, ctx: RequestContext) -> None:
+        t_arrival = self.clock.now()
         mailbox_id = self._extract_mailbox_id(envelope, ctx)
         if mailbox_id is None:
             raise MailboxNotFound(
@@ -200,6 +234,18 @@ class MsgBoxService:
         data = envelope.to_bytes()
         self.store.deposit(mailbox_id, data)
         self.counters.inc("deposits")
+        self._m_deposits.inc()
+        trace = extract_trace(envelope)
+        if trace is not None:
+            self.traces.record(
+                trace.trace_id, "deposit", "msgbox",
+                t_arrival, self.clock.now(),
+                parent_id=trace.parent_span_id, mailbox=mailbox_id,
+            )
+        log_event(
+            self._log, logging.DEBUG, "deposit",
+            trace=trace.trace_id if trace else None, mailbox=mailbox_id,
+        )
         self._send_ack(data)
         return None
 

@@ -1,0 +1,65 @@
+"""repro.obs — observability for the WS-Dispatcher deployment.
+
+The paper positions the WSD as shared production infrastructure; an
+intermediary that owns the message path must also own its visibility.
+This package is that visibility, in four parts:
+
+- :mod:`repro.obs.metrics` — the unified :class:`MetricsRegistry`
+  (labeled counters/gauges/histograms, process-wide default, disabled
+  mode) every component records into.
+- :mod:`repro.obs.trace` — hop-by-hop message tracing: a
+  :class:`TraceContext` carried as a SOAP header next to WS-Addressing,
+  spans recorded into a ring-buffer :class:`TraceStore`.
+- :mod:`repro.obs.logkv` — structured key=value logging on stdlib
+  :mod:`logging`, one named logger per component.
+- :mod:`repro.obs.http` — the :class:`Introspection` surface serving
+  ``GET /metrics`` (Prometheus text + JSON) and ``GET /trace/<id>``.
+"""
+
+from repro.obs.http import Introspection
+from repro.obs.logkv import (
+    KeyValueFormatter,
+    component_logger,
+    configure_logging,
+    kv_line,
+    log_event,
+)
+from repro.obs.metrics import (
+    MetricsRegistry,
+    default_registry,
+    set_default_registry,
+)
+from repro.obs.trace import (
+    TRACE_NS,
+    Span,
+    TraceContext,
+    TraceStore,
+    attach_trace,
+    default_trace_store,
+    ensure_trace,
+    extract_trace,
+    propagate_trace,
+    set_default_trace_store,
+)
+
+__all__ = [
+    "Introspection",
+    "KeyValueFormatter",
+    "MetricsRegistry",
+    "Span",
+    "TRACE_NS",
+    "TraceContext",
+    "TraceStore",
+    "attach_trace",
+    "component_logger",
+    "configure_logging",
+    "default_registry",
+    "default_trace_store",
+    "ensure_trace",
+    "extract_trace",
+    "kv_line",
+    "log_event",
+    "propagate_trace",
+    "set_default_registry",
+    "set_default_trace_store",
+]

@@ -1,0 +1,180 @@
+"""The dispatcher introspection surface: ``GET /metrics`` and ``GET /trace/<id>``.
+
+:class:`Introspection` aggregates the three observability feeds — the
+:class:`~repro.obs.metrics.MetricsRegistry`, the
+:class:`~repro.obs.trace.TraceStore`, and legacy per-component ``stats``
+dict sources (what :class:`~repro.core.status.StatusPage` used to scrape)
+— behind two GET endpoints mounted on any
+:class:`~repro.rt.service.SoapHttpApp`:
+
+- ``GET /metrics`` — Prometheus-style text exposition by default;
+  ``?format=json`` (or ``Accept: application/json``) returns the JSON
+  view, which also embeds the component sources and trace-store summary.
+- ``GET /trace/<id>`` — one trace as JSON (span list + wall time);
+  ``?format=text`` renders the ASCII timeline instead.
+
+Component sources keep working so existing deployments lose nothing: a
+source is anything with a ``stats`` dict property or a callable returning
+a dict, exactly as :meth:`StatusPage.add` accepted — but duplicate names
+are now rejected (or suffixed, opt-in) instead of silently shadowing.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Callable
+
+from repro.http import Headers, HttpRequest, HttpResponse
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.trace import TraceStore, default_trace_store
+
+
+def _wants_json(request: HttpRequest) -> bool:
+    target = request.target
+    if "format=json" in target:
+        return True
+    accept = request.headers.get("Accept") or ""
+    return "application/json" in accept
+
+
+def _text_response(body: str, content_type: str = "text/plain; charset=utf-8") -> HttpResponse:
+    headers = Headers()
+    headers.set("Content-Type", content_type)
+    return HttpResponse(status=200, headers=headers, body=body.encode())
+
+
+def _json_response(payload: dict, status: int = 200) -> HttpResponse:
+    headers = Headers()
+    headers.set("Content-Type", "application/json; charset=utf-8")
+    body = json.dumps(payload, indent=2, sort_keys=True, default=str).encode()
+    return HttpResponse(status=status, headers=headers, body=body)
+
+
+class Introspection:
+    """One deployment's introspection endpoints, fed by the registry."""
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        traces: TraceStore | None = None,
+        title: str = "WS-Dispatcher introspection",
+    ) -> None:
+        self.metrics = metrics if metrics is not None else default_registry()
+        self.traces = traces if traces is not None else default_trace_store()
+        self.title = title
+        self._lock = threading.Lock()
+        self._sources: dict[str, Callable[[], dict]] = {}
+
+    # -- legacy component sources (StatusPage semantics) ------------------
+    def add_source(
+        self, name: str, source: object, on_duplicate: str = "error"
+    ) -> str:
+        """Register a component stat source; returns the name used.
+
+        ``source`` must expose a ``stats`` dict property or be callable.
+        Duplicate names raise :class:`ValueError` (``on_duplicate="error"``)
+        or get a ``#2``-style suffix (``on_duplicate="suffix"``) — never
+        the silent shadowing the old StatusPage allowed.
+        """
+        if on_duplicate not in ("error", "suffix"):
+            raise ValueError(f"unknown on_duplicate policy {on_duplicate!r}")
+        if callable(source):
+            fetch = source
+        elif hasattr(source, "stats"):
+            fetch = lambda s=source: dict(s.stats)
+        else:
+            raise TypeError(f"{name}: source needs .stats or to be callable")
+        with self._lock:
+            final = name
+            if final in self._sources:
+                if on_duplicate == "error":
+                    raise ValueError(
+                        f"component {name!r} already registered; pass "
+                        "on_duplicate='suffix' to keep both"
+                    )
+                n = 2
+                while f"{name}#{n}" in self._sources:
+                    n += 1
+                final = f"{name}#{n}"
+            self._sources[final] = fetch
+            return final
+
+    def components_snapshot(self) -> dict[str, dict]:
+        """Point-in-time stats of every registered component source."""
+        with self._lock:
+            sources = list(self._sources.items())
+        out: dict[str, dict] = {}
+        for name, fetch in sources:
+            try:
+                out[name] = dict(fetch())
+            except Exception as exc:  # noqa: BLE001 - a broken source is data
+                out[name] = {"error": repr(exc)}
+        return out
+
+    # -- views ------------------------------------------------------------
+    def json_snapshot(self) -> dict:
+        trace_ids = self.traces.ids()
+        return {
+            "title": self.title,
+            "metrics": self.metrics.snapshot(),
+            "components": self.components_snapshot(),
+            "traces": {"count": len(trace_ids), "ids": trace_ids[-20:]},
+        }
+
+    def render_prometheus(self) -> str:
+        """Registry exposition plus component stats as synthetic gauges."""
+        lines = [self.metrics.render_prometheus().rstrip("\n")]
+        components = self.components_snapshot()
+        if components:
+            lines.append("# TYPE repro_component_stat gauge")
+            for component in sorted(components):
+                for key, value in sorted(components[component].items()):
+                    try:
+                        numeric = float(value)
+                    except (TypeError, ValueError):
+                        continue
+                    if numeric.is_integer():
+                        rendered = str(int(numeric))
+                    else:
+                        rendered = repr(numeric)
+                    lines.append(
+                        f'repro_component_stat{{component="{component}",'
+                        f'stat="{key}"}} {rendered}'
+                    )
+        return "\n".join(lines) + "\n"
+
+    # -- GET handlers ------------------------------------------------------
+    def metrics_handler(self, request: HttpRequest) -> HttpResponse:
+        if _wants_json(request):
+            return _json_response(self.json_snapshot())
+        return _text_response(
+            self.render_prometheus(), "text/plain; version=0.0.4; charset=utf-8"
+        )
+
+    def trace_handler(self, request: HttpRequest) -> HttpResponse:
+        path = request.target.split("?", 1)[0]
+        marker = "/trace/"
+        idx = path.rfind(marker)
+        trace_id = path[idx + len(marker):] if idx >= 0 else ""
+        if not trace_id:
+            return _json_response(
+                {"traces": self.traces.ids()[-50:]}, status=200
+            )
+        if trace_id not in self.traces:
+            return _json_response(
+                {"error": f"unknown trace {trace_id!r}"}, status=404
+            )
+        if "format=text" in request.target:
+            return _text_response(self.traces.render_timeline(trace_id))
+        return _json_response(self.traces.to_json(trace_id))
+
+    def mount(
+        self,
+        app,
+        metrics_path: str = "/metrics",
+        trace_path: str = "/trace",
+    ) -> None:
+        """Mount both endpoints on a :class:`~repro.rt.service.SoapHttpApp`."""
+        app.mount_page(metrics_path, self.metrics_handler)
+        app.mount_page(trace_path, self.trace_handler)

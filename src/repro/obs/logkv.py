@@ -1,0 +1,97 @@
+"""Structured key=value logging for the dispatcher deployment.
+
+Stdlib :mod:`logging` underneath — one named logger per component
+(``repro.msgd``, ``repro.rpcd``, ``repro.registry``, ``repro.msgbox``) —
+with a key=value line format so log output greps and parses the same way
+the metrics do.  Hot-path events (admit/route/enqueue/drain) log at DEBUG
+and cost one ``isEnabledFor`` check when logging is off; abnormal events
+(retry/drop/reject) log at WARNING.
+
+>>> log = component_logger("msgd")
+>>> log.name
+'repro.msgd'
+>>> kv_line("admit", trace="trace-1", dest="ws:9000")
+'event=admit trace=trace-1 dest=ws:9000'
+"""
+
+from __future__ import annotations
+
+import logging
+
+#: the package root logger every component logger hangs off
+ROOT_LOGGER = "repro"
+
+# Silence "no handler" warnings for library users who never configure
+# logging; configure_logging() installs a real handler on demand.
+logging.getLogger(ROOT_LOGGER).addHandler(logging.NullHandler())
+
+
+def component_logger(component: str) -> logging.Logger:
+    """The logger for one component, namespaced under ``repro``."""
+    if component == ROOT_LOGGER or component.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(component)
+    return logging.getLogger(f"{ROOT_LOGGER}.{component}")
+
+
+def _format_value(value: object) -> str:
+    text = str(value)
+    if text == "":
+        return '""'
+    if any(c in text for c in ' ="\n'):
+        escaped = text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+        return f'"{escaped}"'
+    return text
+
+
+def kv_line(event: str, **fields: object) -> str:
+    """Render one log line: ``event=<event> k=v k2=v2 ...``.
+
+    ``None``-valued fields are dropped so call sites can pass optional
+    context (e.g. ``trace=ctx and ctx.trace_id``) unconditionally.
+    """
+    parts = [f"event={_format_value(event)}"]
+    for key, value in fields.items():
+        if value is None:
+            continue
+        parts.append(f"{key}={_format_value(value)}")
+    return " ".join(parts)
+
+
+def log_event(
+    logger: logging.Logger, level: int, event: str, **fields: object
+) -> None:
+    """Log a structured event if ``level`` is enabled (cheap when not)."""
+    if logger.isEnabledFor(level):
+        logger.log(level, kv_line(event, **fields))
+
+
+class KeyValueFormatter(logging.Formatter):
+    """Formats records as ``ts=<epoch> level=<name> logger=<name> <msg>``."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        prefix = (
+            f"ts={record.created:.6f} level={record.levelname.lower()} "
+            f"logger={record.name}"
+        )
+        return f"{prefix} {record.getMessage()}"
+
+
+def configure_logging(
+    level: int = logging.INFO, stream=None
+) -> logging.Handler:
+    """Install a key=value stream handler on the ``repro`` root logger.
+
+    Idempotent: a previously installed handler from this function is
+    replaced, not duplicated.  Returns the installed handler so callers
+    (tests) can remove it again.
+    """
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_kv_handler", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(KeyValueFormatter())
+    handler._repro_kv_handler = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.setLevel(level)
+    return handler

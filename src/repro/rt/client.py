@@ -10,6 +10,7 @@ once on a fresh connection.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 
 from repro.errors import (
@@ -22,6 +23,7 @@ from repro.errors import (
 )
 from repro.http import Headers, HttpRequest, HttpResponse
 from repro.http.wire import ResponseParser, serialize_request
+from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.soap import Envelope
 from repro.transport.base import Connector, Endpoint, Stream, parse_http_url
 
@@ -44,6 +46,7 @@ class HttpClient:
         response_timeout: float = 30.0,
         pool_per_endpoint: int = 4,
         user_agent: str = "repro-client/1.0",
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self._connector = connector
         self.connect_timeout = connect_timeout
@@ -53,6 +56,15 @@ class HttpClient:
         self._pools: dict[Endpoint, list[Stream]] = {}
         self._lock = threading.Lock()
         self._closed = False
+        registry = metrics if metrics is not None else default_registry()
+        self._m_requests = registry.counter(
+            "rt_client_requests_total", "HTTP exchanges completed by the client"
+        )
+        self._m_request_time = registry.histogram(
+            "rt_client_request_seconds",
+            "wall time of one client HTTP exchange",
+            bucket_width=0.001,
+        )
 
     # -- connection pool -------------------------------------------------
     def _checkout(self, endpoint: Endpoint) -> tuple[Stream, bool]:
@@ -104,9 +116,13 @@ class HttpClient:
         if "User-Agent" not in request.headers:
             request.headers.set("User-Agent", self._user_agent)
 
+        t_start = time.monotonic()
         stream, reused = self._checkout(endpoint)
         try:
-            return self._exchange(endpoint, stream, request)
+            response = self._exchange(endpoint, stream, request)
+            self._m_requests.inc()
+            self._m_request_time.observe(time.monotonic() - t_start)
+            return response
         except (ConnectionClosed, HttpParseError, TransportError):
             stream.close()
             if not reused:
@@ -114,7 +130,10 @@ class HttpClient:
         # stale pooled connection: one retry on a fresh one
         stream = self._connector.connect(endpoint, timeout=self.connect_timeout)
         try:
-            return self._exchange(endpoint, stream, request)
+            response = self._exchange(endpoint, stream, request)
+            self._m_requests.inc()
+            self._m_request_time.observe(time.monotonic() - t_start)
+            return response
         except BaseException:
             stream.close()
             raise

@@ -20,6 +20,7 @@ from repro.errors import (
 )
 from repro.http import HttpRequest, HttpResponse
 from repro.http.wire import RequestParser, serialize_response
+from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.transport.base import Listener, Stream
 from repro.util.concurrency import BoundedExecutor, RejectedExecution
 
@@ -38,6 +39,7 @@ class HttpServer:
         workers: int = 16,
         keep_alive_timeout: float = 15.0,
         name: str = "http",
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self._listener = listener
         self._handler = handler
@@ -50,6 +52,14 @@ class HttpServer:
         self._lock = threading.Lock()
         self._connections_served = 0
         self._requests_served = 0
+        # live-callback gauges: zero cost on the serve path
+        registry = metrics if metrics is not None else default_registry()
+        registry.gauge(
+            "rt_http_connections_served", "connections accepted, by server"
+        ).labels(server=name).set_function(lambda: self.connections_served)
+        registry.gauge(
+            "rt_http_requests_served", "requests answered, by server"
+        ).labels(server=name).set_function(lambda: self.requests_served)
 
     # -- lifecycle ----------------------------------------------------------
     @property

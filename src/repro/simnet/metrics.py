@@ -98,6 +98,19 @@ class MetricsSampler:
             data.times.append(now)
             data.values.append(value)
 
+    # -- unified-registry bridge -------------------------------------------
+    def export_to(self, registry, name: str = "sim_gauge") -> None:
+        """Expose every registered gauge through a
+        :class:`~repro.obs.metrics.MetricsRegistry` as live children of one
+        labeled gauge family (``{series="..."}``), so ``GET /metrics`` on a
+        simulated deployment shows the same values the sampler records.
+        """
+        family = registry.gauge(
+            name, "live simnet sampler gauges, by series"
+        )
+        for series_name, fn in self._gauges.items():
+            family.labels(series=series_name).set_function(fn)
+
     # -- reporting ---------------------------------------------------------
     def render(self, names: list[str] | None = None, width: int = 40) -> str:
         """Compact sparkline-style table: min/mean/peak plus a trend bar."""

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.errors import ReproError, SoapError, TransportError, XmlError
 from repro.http import HttpRequest, HttpResponse
+from repro.obs.trace import TraceStore, default_trace_store, extract_trace, propagate_trace
 from repro.rt.service import soap_fault_response
 from repro.simnet.httpsim import SimHttpClientPool
 from repro.simnet.resources import Resource
@@ -51,11 +52,13 @@ class SimAsyncEchoService:
         connect_timeout: float = 21.0,
         response_timeout: float = 30.0,
         response_delay: float = 0.0,
+        traces: TraceStore | None = None,
     ) -> None:
         self.net = net
         self.sim = net.sim
         self.host = host
         self.response_delay = response_delay
+        self.traces = traces if traces is not None else default_trace_store()
         self.pool = SimHttpClientPool(
             net,
             host,
@@ -76,6 +79,7 @@ class SimAsyncEchoService:
             headers = AddressingHeaders.from_envelope(envelope)
         except (XmlError, SoapError, ReproError) as exc:
             return soap_fault_response(Fault("Client", str(exc)), status=400)
+        t_recv = self.sim.now
         self.counters.inc("received")
         if headers.reply_to is None or headers.reply_to.is_anonymous:
             return HttpResponse(status=202)
@@ -90,20 +94,40 @@ class SimAsyncEchoService:
         )
         reply_headers = make_reply_headers(headers, self.ids.next())
         reply_headers.attach(reply)
+        # A reply is a *new* envelope: forwarding won't copy the request's
+        # trace header onto it, so continue the context explicitly.  The
+        # service span id is pre-allocated so the reply can reference it
+        # before the span (which includes the think time) is recorded.
+        trace = extract_trace(envelope)
+        svc_sid = None
+        if trace is not None:
+            svc_sid = self.traces.new_span_id()
+            propagate_trace(envelope, reply, parent_span_id=svc_sid)
         target = reply_headers.to or ""
 
         # Acquire a sender slot *before* acknowledging: a service whose
         # senders are all wedged stops accepting further work.
         slot = self.senders.request()
         yield slot
-        self.sim.process(self._send_reply(slot, target, reply.to_bytes()))
+        self.sim.process(
+            self._send_reply(slot, target, reply.to_bytes(), trace, svc_sid, t_recv)
+        )
         return HttpResponse(status=202)
 
-    def _send_reply(self, slot, target_url: str, body: bytes):
+    def _send_reply(
+        self, slot, target_url: str, body: bytes,
+        trace=None, svc_sid=None, t_recv=0.0,
+    ):
         if self.response_delay > 0:
             # the service takes its time producing the answer — harmless
             # here because no transport is waiting (Table 1 quadrant 4)
             yield self.sim.timeout(self.response_delay * self.host.cpu_factor)
+        if svc_sid is not None:
+            self.traces.record(
+                trace.trace_id, "service", "echo",
+                t_recv, self.sim.now,
+                span_id=svc_sid, parent_id=trace.parent_span_id,
+            )
         try:
             endpoint, path = parse_http_url(target_url)
         except ReproError:

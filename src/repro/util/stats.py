@@ -10,6 +10,7 @@ thousands of clients does not accumulate per-message lists.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 
 
@@ -108,11 +109,23 @@ class Histogram:
             self.buckets[idx] += 1
 
     def quantile(self, q: float) -> float:
-        """Upper edge of the bucket containing quantile ``q`` (0..1)."""
+        """Upper edge of the bucket containing quantile ``q`` (0..1).
+
+        ``q=0`` is the distribution minimum, reported as the *lower* edge
+        of the first occupied bucket (an upper edge would overstate the
+        minimum by a whole bucket width).
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError("q must be in [0, 1]")
         if self.count == 0:
             return 0.0
+        if q == 0.0:
+            for i, c in enumerate(self.buckets):
+                if c:
+                    return i * self.bucket_width
+            # every sample overflowed: the minimum is at least the
+            # overflow bucket's lower edge
+            return len(self.buckets) * self.bucket_width
         target = q * self.count
         seen = 0
         for i, c in enumerate(self.buckets):
@@ -124,19 +137,34 @@ class Histogram:
 
 @dataclass
 class Counter:
-    """Named monotonic counters (transmitted / not-sent / errors ...)."""
+    """Named monotonic counters (transmitted / not-sent / errors ...).
+
+    Thread-safe: the dispatchers increment these from CxThreads and
+    WsThreads concurrently, so the read-modify-write is under a lock.
+    """
 
     values: dict[str, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def inc(self, name: str, amount: int = 1) -> None:
-        self.values[name] = self.values.get(name, 0) + amount
+        with self._lock:
+            self.values[name] = self.values.get(name, 0) + amount
 
     def get(self, name: str) -> int:
-        return self.values.get(name, 0)
+        with self._lock:
+            return self.values.get(name, 0)
 
     def merge(self, other: "Counter") -> None:
-        for name, v in other.values.items():
-            self.inc(name, v)
+        # Snapshot the source first (its own lock), then fold under ours:
+        # never holds both locks, so concurrent a.merge(b) / b.merge(a)
+        # cannot deadlock.
+        snapshot = other.as_dict()
+        with self._lock:
+            for name, v in snapshot.items():
+                self.values[name] = self.values.get(name, 0) + v
 
     def as_dict(self) -> dict[str, int]:
-        return dict(self.values)
+        with self._lock:
+            return dict(self.values)

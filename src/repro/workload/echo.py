@@ -13,8 +13,10 @@ from __future__ import annotations
 
 import threading
 
+from repro.obs.trace import TraceStore, default_trace_store, extract_trace, propagate_trace
 from repro.rt.client import HttpClient
 from repro.rt.service import RequestContext
+from repro.util.clock import Clock, MonotonicClock
 from repro.soap import (
     Envelope,
     RpcRequest,
@@ -91,12 +93,15 @@ class EchoService:
             self.calls += 1
         if self.response_delay > 0:
             self._sleep(self.response_delay)
-        return build_rpc_response(
+        response = build_rpc_response(
             RpcResponse(
                 call.interface_ns, call.operation, [("return", call.param("text") or "")]
             ),
             version=envelope.version,
         )
+        # in-band reply: continue the request's trace context, if any
+        propagate_trace(envelope, response)
+        return response
 
 
 class AsyncEchoService:
@@ -109,15 +114,24 @@ class AsyncEchoService:
     addressed directly — Figure 6's worst case) are counted, not raised.
     """
 
-    def __init__(self, http: HttpClient, ids: IdGenerator | None = None) -> None:
+    def __init__(
+        self,
+        http: HttpClient,
+        ids: IdGenerator | None = None,
+        clock: Clock | None = None,
+        traces: TraceStore | None = None,
+    ) -> None:
         self.http = http
         self.ids = ids or IdGenerator("echo-reply")
+        self.clock = clock or MonotonicClock()
+        self.traces = traces if traces is not None else default_trace_store()
         self._lock = threading.Lock()
         self.received = 0
         self.replies_sent = 0
         self.replies_blocked = 0
 
     def handle(self, envelope: Envelope, ctx: RequestContext) -> None:
+        t_recv = self.clock.now()
         call = parse_rpc_request(envelope)
         request_headers = AddressingHeaders.from_envelope(envelope)
         with self._lock:
@@ -132,6 +146,17 @@ class AsyncEchoService:
         )
         headers = make_reply_headers(request_headers, self.ids.next())
         headers.attach(reply)
+        # The reply is a new envelope: continue the request's trace
+        # context explicitly and record the service span it parents.
+        trace = extract_trace(envelope)
+        if trace is not None:
+            svc_sid = self.traces.new_span_id()
+            propagate_trace(envelope, reply, parent_span_id=svc_sid)
+            self.traces.record(
+                trace.trace_id, "service", "echo",
+                t_recv, self.clock.now(),
+                span_id=svc_sid, parent_id=trace.parent_span_id,
+            )
         try:
             self.http.post_envelope(headers.to or "", reply)
         except Exception:  # noqa: BLE001 - blocked by firewall / unreachable

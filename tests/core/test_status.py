@@ -18,6 +18,32 @@ def test_add_requires_stats_or_callable():
         page.add("bogus", object())
 
 
+def test_add_rejects_duplicate_names():
+    """Regression: a duplicate name used to silently shadow the original."""
+    page = StatusPage()
+    page.add("svc", lambda: {"a": 1})
+    with pytest.raises(ValueError, match="already registered"):
+        page.add("svc", lambda: {"a": 2})
+    assert page.snapshot()["svc"] == {"a": 1}
+
+
+def test_add_suffixes_duplicates_on_request():
+    page = StatusPage(suffix_duplicates=True)
+    assert page.add("svc", lambda: {"a": 1}) == "svc"
+    assert page.add("svc", lambda: {"a": 2}) == "svc#2"
+    snap = page.snapshot()
+    assert snap["svc"] == {"a": 1}
+    assert snap["svc#2"] == {"a": 2}
+
+
+def test_sources_visible_through_metrics_json_view():
+    """StatusPage is a thin wrapper: the same sources feed /metrics JSON."""
+    page = StatusPage()
+    page.add("svc", lambda: {"handled": 7})
+    snapshot = page.introspection.json_snapshot()
+    assert snapshot["components"]["svc"] == {"handled": 7}
+
+
 def test_snapshot_collects_all_sources():
     page = StatusPage()
     page.add("constant", lambda: {"a": 1})

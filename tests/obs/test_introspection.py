@@ -1,0 +1,152 @@
+"""Unit tests for the /metrics + /trace introspection surface."""
+
+import json
+
+import pytest
+
+from repro.http import Headers, HttpRequest
+from repro.obs.http import Introspection
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceStore
+
+
+class FakeComponent:
+    def __init__(self, **stats):
+        self._stats = stats
+
+    @property
+    def stats(self):
+        return dict(self._stats)
+
+
+def make_introspection():
+    return Introspection(metrics=MetricsRegistry(), traces=TraceStore())
+
+
+def get(target: str, accept: str | None = None) -> HttpRequest:
+    headers = Headers()
+    if accept:
+        headers.set("Accept", accept)
+    return HttpRequest("GET", target, headers=headers)
+
+
+class TestSources:
+    def test_stats_property_and_callable_sources(self):
+        intro = make_introspection()
+        intro.add_source("svc", FakeComponent(handled=3))
+        intro.add_source("fn", lambda: {"x": 1})
+        assert intro.components_snapshot() == {
+            "svc": {"handled": 3},
+            "fn": {"x": 1},
+        }
+
+    def test_duplicate_name_rejected(self):
+        intro = make_introspection()
+        intro.add_source("svc", FakeComponent())
+        with pytest.raises(ValueError, match="already registered"):
+            intro.add_source("svc", FakeComponent())
+
+    def test_duplicate_name_suffixed_on_request(self):
+        intro = make_introspection()
+        assert intro.add_source("svc", FakeComponent(a=1)) == "svc"
+        assert (
+            intro.add_source("svc", FakeComponent(a=2), on_duplicate="suffix")
+            == "svc#2"
+        )
+        assert (
+            intro.add_source("svc", FakeComponent(a=3), on_duplicate="suffix")
+            == "svc#3"
+        )
+        snap = intro.components_snapshot()
+        assert snap["svc"] == {"a": 1}
+        assert snap["svc#2"] == {"a": 2}
+        assert snap["svc#3"] == {"a": 3}
+
+    def test_unknown_duplicate_policy_rejected(self):
+        with pytest.raises(ValueError, match="on_duplicate"):
+            make_introspection().add_source(
+                "svc", FakeComponent(), on_duplicate="overwrite"
+            )
+
+    def test_source_without_stats_rejected(self):
+        with pytest.raises(TypeError, match="needs .stats"):
+            make_introspection().add_source("bad", object())
+
+    def test_broken_source_becomes_error_entry(self):
+        intro = make_introspection()
+
+        def boom():
+            raise RuntimeError("dead component")
+
+        intro.add_source("svc", boom)
+        snap = intro.components_snapshot()
+        assert "dead component" in snap["svc"]["error"]
+
+
+class TestMetricsEndpoint:
+    def test_prometheus_by_default(self):
+        intro = make_introspection()
+        intro.metrics.counter("req_total", "requests").inc(2)
+        intro.add_source("svc", FakeComponent(handled=3, label="x"))
+        response = intro.metrics_handler(get("/metrics"))
+        assert response.status == 200
+        assert "version=0.0.4" in (response.headers.get("Content-Type") or "")
+        text = response.body.decode()
+        assert "req_total 2" in text
+        # component stats ride along as synthetic gauges (numeric only)
+        assert 'repro_component_stat{component="svc",stat="handled"} 3' in text
+        assert "label" not in text
+
+    def test_json_via_query_and_accept(self):
+        intro = make_introspection()
+        intro.metrics.gauge("depth").set(4)
+        intro.traces.record("t1", "admit", "msgd", 0.0, 1.0)
+        for request in (
+            get("/metrics?format=json"),
+            get("/metrics", accept="application/json"),
+        ):
+            payload = json.loads(intro.metrics_handler(request).body)
+            assert payload["metrics"]["depth"]["samples"][0]["value"] == 4
+            assert payload["traces"] == {"count": 1, "ids": ["t1"]}
+
+
+class TestTraceEndpoint:
+    def test_known_trace_as_json(self):
+        intro = make_introspection()
+        intro.traces.record("t1", "admit", "msgd", 0.0, 1.0)
+        response = intro.trace_handler(get("/trace/t1"))
+        assert response.status == 200
+        doc = json.loads(response.body)
+        assert doc["trace_id"] == "t1"
+        assert [s["name"] for s in doc["spans"]] == ["admit"]
+
+    def test_text_timeline(self):
+        intro = make_introspection()
+        intro.traces.record("t1", "admit", "msgd", 0.0, 1.0)
+        response = intro.trace_handler(get("/trace/t1?format=text"))
+        assert b"msgd/admit" in response.body
+
+    def test_unknown_trace_is_404(self):
+        response = make_introspection().trace_handler(get("/trace/nope"))
+        assert response.status == 404
+        assert "unknown trace" in json.loads(response.body)["error"]
+
+    def test_bare_trace_path_lists_recent_ids(self):
+        intro = make_introspection()
+        intro.traces.record("t1", "a", "c", 0.0, 1.0)
+        intro.traces.record("t2", "a", "c", 0.0, 1.0)
+        payload = json.loads(intro.trace_handler(get("/trace/")).body)
+        assert payload == {"traces": ["t1", "t2"]}
+
+
+class TestMount:
+    def test_mounts_both_pages(self):
+        mounted = {}
+
+        class FakeApp:
+            def mount_page(self, path, handler):
+                mounted[path] = handler
+
+        intro = make_introspection()
+        intro.mount(FakeApp())
+        assert set(mounted) == {"/metrics", "/trace"}

@@ -1,0 +1,89 @@
+"""Unit tests for the key=value structured logging helpers."""
+
+import io
+import logging
+
+from repro.obs.logkv import (
+    KeyValueFormatter,
+    component_logger,
+    configure_logging,
+    kv_line,
+    log_event,
+)
+
+
+class TestComponentLogger:
+    def test_namespaced_under_repro(self):
+        assert component_logger("msgd").name == "repro.msgd"
+
+    def test_already_qualified_names_pass_through(self):
+        assert component_logger("repro.msgd").name == "repro.msgd"
+        assert component_logger("repro").name == "repro"
+
+
+class TestKvLine:
+    def test_basic(self):
+        assert (
+            kv_line("admit", trace="trace-1", dest="ws:9000")
+            == "event=admit trace=trace-1 dest=ws:9000"
+        )
+
+    def test_none_fields_dropped(self):
+        assert kv_line("drop", trace=None, reason="full") == "event=drop reason=full"
+
+    def test_values_needing_quotes(self):
+        assert kv_line("x", msg="two words") == 'event=x msg="two words"'
+        assert kv_line("x", msg='say "hi"') == 'event=x msg="say \\"hi\\""'
+        assert kv_line("x", msg="") == 'event=x msg=""'
+        assert kv_line("x", msg="a\nb") == 'event=x msg="a\\nb"'
+
+    def test_non_string_values(self):
+        assert kv_line("x", n=3, ok=True) == "event=x n=3 ok=True"
+
+
+class TestLogEvent:
+    def test_emits_kv_line(self, caplog):
+        logger = component_logger("msgd")
+        with caplog.at_level(logging.DEBUG, logger="repro.msgd"):
+            log_event(logger, logging.DEBUG, "route", trace="trace-1", dest="d")
+        assert "event=route trace=trace-1 dest=d" in caplog.text
+
+    def test_suppressed_below_level(self, caplog):
+        logger = component_logger("msgd")
+        with caplog.at_level(logging.WARNING, logger="repro.msgd"):
+            log_event(logger, logging.DEBUG, "route", trace="t")
+        assert "event=route" not in caplog.text
+
+
+class TestConfigureLogging:
+    def _kv_handlers(self):
+        root = logging.getLogger("repro")
+        return [h for h in root.handlers if getattr(h, "_repro_kv_handler", False)]
+
+    def test_formats_and_is_idempotent(self):
+        stream = io.StringIO()
+        handler = configure_logging(logging.INFO, stream=stream)
+        try:
+            # a second call replaces rather than duplicates the handler
+            handler = configure_logging(logging.INFO, stream=stream)
+            assert len(self._kv_handlers()) == 1
+            component_logger("msgd").info(kv_line("hello", n=1))
+            line = stream.getvalue().strip()
+            assert "level=info" in line
+            assert "logger=repro.msgd" in line
+            assert line.endswith("event=hello n=1")
+            assert line.startswith("ts=")
+        finally:
+            logging.getLogger("repro").removeHandler(handler)
+        assert not self._kv_handlers()
+
+
+class TestKeyValueFormatter:
+    def test_record_prefix(self):
+        record = logging.LogRecord(
+            "repro.rpcd", logging.WARNING, __file__, 1, "event=drop", (), None
+        )
+        out = KeyValueFormatter().format(record)
+        assert "level=warning" in out
+        assert "logger=repro.rpcd" in out
+        assert out.endswith("event=drop")

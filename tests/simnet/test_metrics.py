@@ -58,6 +58,27 @@ class TestSampler:
         with pytest.raises(SimulationError):
             sampler.gauge("x", lambda: 1)
 
+    def test_export_to_unified_registry(self, sim):
+        from repro.obs import MetricsRegistry
+
+        sampler = MetricsSampler(sim, interval=1.0)
+        backlog = [0.0]
+        sampler.gauge("uplink-backlog", lambda: backlog[0])
+        sampler.gauge("connections", lambda: 3.0)
+        registry = MetricsRegistry()
+        sampler.export_to(registry)
+        backlog[0] = 7.5
+        snap = registry.snapshot()
+        samples = {
+            s["labels"]["series"]: s["value"]
+            for s in snap["sim_gauge"]["samples"]
+        }
+        # live reads: the registry sees current values, not a snapshot
+        assert samples == {"uplink-backlog": 7.5, "connections": 3.0}
+        assert 'sim_gauge{series="uplink-backlog"} 7.5' in (
+            registry.render_prometheus()
+        )
+
     def test_invalid_interval(self, sim):
         with pytest.raises(SimulationError):
             MetricsSampler(sim, interval=0)

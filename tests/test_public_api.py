@@ -20,6 +20,7 @@ def test_top_level_exports():
         "repro.core.sim_dispatcher",
         "repro.core.status",
         "repro.msgbox",
+        "repro.obs",
         "repro.conversation",
         "repro.reliable",
         "repro.soap",
@@ -59,6 +60,13 @@ def test_documented_entry_points_exist():
     from repro.conversation import ConversationPeer
     from repro.msgbox import MailboxStore, MsgBoxClient, MsgBoxService
     from repro.msgbox.service import make_mailbox_epr
+    from repro.obs import (
+        Introspection,
+        MetricsRegistry,
+        TraceStore,
+        configure_logging,
+        ensure_trace,
+    )
     from repro.reliable import DuplicateFilter, ExponentialBackoff, HoldRetryStore
     from repro.simnet import MetricsSampler, Simulator, make_network
     from repro.soap.binxml import sniff_and_parse

@@ -2,6 +2,7 @@
 
 import math
 import statistics
+import threading
 
 import pytest
 from hypothesis import given, strategies as st
@@ -108,6 +109,35 @@ class TestHistogram:
         assert h.overflow == 1
         assert h.quantile(1.0) == math.inf
 
+    def test_quantile_zero_is_minimum_edge(self):
+        # regression: q=0 used to report the *upper* edge of the first
+        # occupied bucket, overstating the minimum by a bucket width
+        h = Histogram(1.0, num_buckets=10)
+        h.add(3.5)  # lands in bucket [3, 4)
+        h.add(7.2)
+        assert h.quantile(0.0) == 3.0
+        assert h.quantile(0.0) < h.quantile(1.0)
+
+    def test_quantile_zero_in_first_bucket(self):
+        h = Histogram(1.0, num_buckets=4)
+        h.add(0.25)
+        assert h.quantile(0.0) == 0.0
+
+    def test_quantile_one_is_last_occupied_upper_edge(self):
+        h = Histogram(1.0, num_buckets=10)
+        h.add(1.5)
+        h.add(4.5)
+        assert h.quantile(1.0) == 5.0
+
+    def test_quantile_edges_when_all_samples_overflow(self):
+        h = Histogram(1.0, num_buckets=4)
+        h.add(50.0)
+        h.add(60.0)
+        # the minimum is at least the overflow bucket's lower edge; the
+        # maximum is unbounded
+        assert h.quantile(0.0) == 4.0
+        assert h.quantile(1.0) == math.inf
+
 
 class TestCounter:
     def test_inc_and_get(self):
@@ -132,3 +162,42 @@ class TestCounter:
         d = c.as_dict()
         d["a"] = 99
         assert c.get("a") == 1
+
+    def test_concurrent_inc_is_not_lossy(self):
+        # regression: inc() was an unlocked read-modify-write, so the
+        # dispatchers' CxThreads and WsThreads lost increments under load
+        c = Counter()
+        per_thread, n_threads = 5000, 8
+        barrier = threading.Barrier(n_threads)
+
+        def work():
+            barrier.wait()
+            for _ in range(per_thread):
+                c.inc("hits")
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.get("hits") == per_thread * n_threads
+
+    def test_concurrent_mutual_merge_does_not_deadlock(self):
+        a = Counter()
+        b = Counter()
+        a.inc("x")
+        b.inc("x")
+        done = threading.Barrier(2)
+
+        def merge(dst, src):
+            done.wait()
+            for _ in range(200):
+                dst.merge(src)
+
+        t1 = threading.Thread(target=merge, args=(a, b))
+        t2 = threading.Thread(target=merge, args=(b, a))
+        t1.start()
+        t2.start()
+        t1.join(timeout=10)
+        t2.join(timeout=10)
+        assert not t1.is_alive() and not t2.is_alive()
