@@ -27,11 +27,13 @@ def test_a2_batching(benchmark, paper_scale, record_report):
         iterations=1,
     )
     record_report("ablation_a2_batching", report.render())
-    batched = report.extras["batch=8, persistent"]
+    batched = report.extras["batch=8, pipelined"]
+    serial = report.extras["batch=8, serial-drain"]
     per_msg = report.extras["batch=1, conn-per-msg"]
     # §4.1: batching over persistent connections "is more efficient than
     # opening multiple short lived connections"
     assert batched["delivered"] > per_msg["delivered"]
+    assert batched["delivered"] >= serial["delivered"]
 
 
 def test_a4_reliability(benchmark, record_report):

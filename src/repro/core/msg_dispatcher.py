@@ -8,7 +8,9 @@ Architecture (paper Fig. 3): two configurable thread pools.
 - **WsThreads** each own a FIFO queue and a persistent connection to one
   destination, and drain queued messages to it — several messages ride one
   connection ("more efficient than opening multiple short lived
-  connections").
+  connections").  A drained batch rides the connection as **one pipelined
+  write burst** (a :class:`~repro.rt.client.ConnectionLease`): N one-way
+  messages cost one round trip instead of N.
 
 Responses from services "are also treated like requests from clients":
 they enter the same pipeline, are recognised by ``wsa:RelatesTo`` matching
@@ -23,6 +25,7 @@ import threading
 from dataclasses import dataclass, field
 
 from repro.errors import ReproError, RoutingError, TransportError, UnknownServiceError
+from repro.http import HttpResponse
 from repro.obs.logkv import component_logger, log_event
 from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.obs.trace import (
@@ -59,6 +62,10 @@ class MsgDispatcherConfig:
     destination_queue: int = 1024
     #: messages drained per connection write burst (batching ablation A2)
     batch_size: int = 8
+    #: pipeline a drained batch as one write burst on a leased connection
+    #: (False = serial request/response per message, the pre-pipelining
+    #: drain path; the A2 ablation and bench_pipeline_drain compare both)
+    pipeline_batches: bool = True
     #: how long a WsThread keeps an idle destination before releasing it
     destination_idle_ttl: float = 10.0
     #: correlation (MessageID → ReplyTo) lifetime
@@ -516,8 +523,11 @@ class MsgDispatcher:
                     return  # idle: release the slot
                 except QueueClosed:
                     return
-                for item in batch:
-                    self._deliver(item)
+                if self.config.pipeline_batches and len(batch) > 1:
+                    self._deliver_batch(batch)
+                else:
+                    for item in batch:
+                        self._deliver(item)
         finally:
             with self._lock:
                 dest.thread = None
@@ -535,19 +545,23 @@ class MsgDispatcher:
         for d in candidates:
             self._ensure_worker(d)
 
+    def _note_dequeued(self, item: _OutboundItem) -> None:
+        """Record destination-queue wait once, on the item's first attempt."""
+        if item.attempts:
+            return
+        t_deq = self.clock.now()
+        wait = t_deq - item.enqueued_at
+        self._m_queue_wait.labels(queue="destination").observe(wait)
+        if item.trace is not None:
+            self.traces.record(
+                item.trace.trace_id, "queue-wait", "msgd",
+                item.enqueued_at, t_deq,
+                parent_id=item.parent_span_id, queue="destination",
+                dest=item.target_url,
+            )
+
     def _deliver(self, item: _OutboundItem) -> None:
-        trace_id = item.trace.trace_id if item.trace else None
-        if item.attempts == 0:
-            t_deq = self.clock.now()
-            wait = t_deq - item.enqueued_at
-            self._m_queue_wait.labels(queue="destination").observe(wait)
-            if item.trace is not None:
-                self.traces.record(
-                    item.trace.trace_id, "queue-wait", "msgd",
-                    item.enqueued_at, t_deq,
-                    parent_id=item.parent_span_id, queue="destination",
-                    dest=item.target_url,
-                )
+        self._note_dequeued(item)
         item.attempts += 1
         t_send = self.clock.now()
         try:
@@ -558,37 +572,110 @@ class MsgDispatcher:
             if response.status >= 400:
                 raise TransportError(f"HTTP {response.status} from {item.target_url}")
         except (TransportError, ReproError):
-            retry = self.config.retry
-            if retry is not None and retry.should_retry(item.attempts):
-                self.clock.sleep(retry.delay_before(item.attempts + 1))
-                self._enqueue_retry(item)
-                self.counters.inc("retries")
-                self._m_retries.inc()
-                log_event(
-                    self._log, logging.INFO, "retry",
-                    trace=trace_id, dest=item.target_url,
-                    attempts=item.attempts,
+            self._handle_delivery_failure(item)
+            return
+        self._finish_delivery(
+            item, response, t_send, self.clock.now(),
+            parent_span_id=item.parent_span_id,
+        )
+
+    def _deliver_batch(self, batch: "list[_OutboundItem]") -> None:
+        """Drain one batch as a single pipelined burst on a leased connection.
+
+        Per-item semantics are identical to :meth:`_deliver`: each item
+        still gets its own retry/backoff, hold-store parking, correlation
+        absorption, metrics, and trace spans.  The only difference is the
+        wire schedule — N requests ride one write burst instead of N
+        serialized round trips — plus one ``pipeline-burst`` span (per
+        distinct trace in the batch) parenting the per-item ``deliver``
+        spans.
+        """
+        for item in batch:
+            self._note_dequeued(item)
+            item.attempts += 1
+        requests = []
+        for item in batch:
+            req = _make_post(item.envelope_bytes)
+            self.client.prepare(item.target_url, req)
+            requests.append(req)
+        t_burst = self.clock.now()
+        try:
+            lease = self.client.lease(batch[0].target_url)
+        except (TransportError, ReproError):
+            # no connection at all: every item takes its own failure path
+            for item in batch:
+                self._handle_delivery_failure(item)
+            return
+        try:
+            outcomes = lease.pipeline(requests)
+        finally:
+            lease.release()
+        t_done = self.clock.now()
+
+        burst_sid = None
+        traced = {i.trace.trace_id: i for i in batch if i.trace is not None}
+        if traced:
+            burst_sid = self.traces.new_span_id()
+            for trace_id, first in traced.items():
+                self.traces.record(
+                    trace_id, "pipeline-burst", "msgd",
+                    t_burst, t_done,
+                    span_id=burst_sid, parent_id=first.parent_span_id,
+                    dest=batch[0].target_url, size=len(batch),
                 )
-            elif self.hold_store is not None and item.message_id is not None:
-                # reliable mode: park the message for scheduled redelivery
-                self.hold_store.hold(
-                    item.message_id, item.target_url, item.envelope_bytes
-                )
-                self.counters.inc("held_for_retry")
-                log_event(
-                    self._log, logging.INFO, "hold",
-                    trace=trace_id, dest=item.target_url,
+        for item, outcome in zip(batch, outcomes):
+            if isinstance(outcome, HttpResponse) and outcome.status < 400:
+                self._finish_delivery(
+                    item, outcome, t_burst, t_done,
+                    parent_span_id=(
+                        burst_sid if item.trace is not None
+                        else item.parent_span_id
+                    ),
                 )
             else:
-                self.counters.inc("delivery_failures")
-                self._m_dropped.labels(reason="delivery_failure").inc()
-                log_event(
-                    self._log, logging.WARNING, "drop",
-                    trace=trace_id, reason="delivery_failure",
-                    dest=item.target_url, attempts=item.attempts,
-                )
-            return
-        t_done = self.clock.now()
+                self._handle_delivery_failure(item)
+
+    def _handle_delivery_failure(self, item: _OutboundItem) -> None:
+        """One failed attempt: in-line retry, hold-store parking, or drop."""
+        trace_id = item.trace.trace_id if item.trace else None
+        retry = self.config.retry
+        if retry is not None and retry.should_retry(item.attempts):
+            self.clock.sleep(retry.delay_before(item.attempts + 1))
+            self._enqueue_retry(item)
+            self.counters.inc("retries")
+            self._m_retries.inc()
+            log_event(
+                self._log, logging.INFO, "retry",
+                trace=trace_id, dest=item.target_url,
+                attempts=item.attempts,
+            )
+        elif self.hold_store is not None and item.message_id is not None:
+            # reliable mode: park the message for scheduled redelivery
+            self.hold_store.hold(
+                item.message_id, item.target_url, item.envelope_bytes
+            )
+            self.counters.inc("held_for_retry")
+            log_event(
+                self._log, logging.INFO, "hold",
+                trace=trace_id, dest=item.target_url,
+            )
+        else:
+            self.counters.inc("delivery_failures")
+            self._m_dropped.labels(reason="delivery_failure").inc()
+            log_event(
+                self._log, logging.WARNING, "drop",
+                trace=trace_id, reason="delivery_failure",
+                dest=item.target_url, attempts=item.attempts,
+            )
+
+    def _finish_delivery(
+        self,
+        item: _OutboundItem,
+        response,
+        t_send: float,
+        t_done: float,
+        parent_span_id: str | None,
+    ) -> None:
         self.counters.inc("delivered")
         self._m_delivered.inc()
         self._m_transmit.observe(t_done - t_send)
@@ -596,12 +683,13 @@ class MsgDispatcher:
             self.traces.record(
                 item.trace.trace_id, "deliver", "msgd",
                 t_send, t_done,
-                parent_id=item.parent_span_id,
+                parent_id=parent_span_id,
                 dest=item.target_url, attempts=item.attempts,
             )
         log_event(
             self._log, logging.DEBUG, "deliver",
-            trace=trace_id, dest=item.target_url,
+            trace=item.trace.trace_id if item.trace else None,
+            dest=item.target_url,
         )
         self._absorb_inband_response(item, response)
 

@@ -63,11 +63,23 @@ class ServiceRegistry:
         selector: Callable[[ServiceRecord], str] | None = None,
         backend: object | None = None,
         metrics: MetricsRegistry | None = None,
+        lookup_cache_ttl: float = 5.0,
     ) -> None:
         """``backend`` is any TextFileMap-shaped store (put/get/remove/items)
         — e.g. :class:`~repro.util.sqldb.SqliteMap` for the paper's
         relational-database future work.  ``persist_path`` is shorthand
-        for the text-file backend."""
+        for the text-file backend.
+
+        ``lookup_cache_ttl`` enables a read-through cache in front of
+        :meth:`lookup`: the dispatchers resolve the same handful of
+        logical names once per message, and the CxThread path should not
+        pay the registry lock (or, with a database backend, the backing
+        store) per message.  Every mutation of a record —
+        :meth:`register`, :meth:`unregister`, :meth:`add_physical`,
+        :meth:`remove_physical`, :meth:`set_enabled` — invalidates that
+        record's cache entry immediately; the TTL only bounds staleness
+        against *external* mutation of a shared backend.  ``0`` disables
+        the cache."""
         self._lock = threading.RLock()
         self._records: dict[str, ServiceRecord] = {}
         self.metrics = metrics if metrics is not None else default_registry()
@@ -78,6 +90,16 @@ class ServiceRegistry:
         self._m_misses = self.metrics.counter(
             "registry_misses_total", "resolutions that found no enabled service"
         )
+        cache_counter = self.metrics.counter(
+            "registry_cache_total", "lookup cache outcomes, by outcome"
+        )
+        self._m_cache_hits = cache_counter.labels(outcome="hit")
+        self._m_cache_misses = cache_counter.labels(outcome="miss")
+        self._cache_ttl = lookup_cache_ttl
+        #: logical -> (record, monotonic deadline); plain dict, no lock —
+        #: single-key get/set/pop are atomic under the GIL and a racing
+        #: reader at worst re-resolves through the locked slow path
+        self._cache: dict[str, tuple[ServiceRecord, float]] = {}
         self.metrics.gauge(
             "registry_services", "registered logical services"
         ).set_function(lambda: len(self))
@@ -108,6 +130,7 @@ class ServiceRegistry:
         with self._lock:
             self._records[logical] = record
             self._persist(record)
+            self._invalidate(logical)
         log_event(
             self._log, logging.INFO, "register",
             logical=logical, physical=",".join(addresses),
@@ -120,6 +143,7 @@ class ServiceRegistry:
             if physical not in record.physical:
                 record.physical.append(physical)
                 self._persist(record)
+                self._invalidate(logical)
 
     def remove_physical(self, logical: str, physical: str) -> None:
         with self._lock:
@@ -131,12 +155,14 @@ class ServiceRegistry:
                     )
                 record.physical.remove(physical)
                 self._persist(record)
+                self._invalidate(logical)
 
     def unregister(self, logical: str) -> bool:
         with self._lock:
             existed = self._records.pop(logical, None) is not None
             if existed and self._db is not None:
                 self._db.remove(logical)
+            self._invalidate(logical)
         if existed:
             log_event(self._log, logging.INFO, "unregister", logical=logical)
         return existed
@@ -144,6 +170,11 @@ class ServiceRegistry:
     def set_enabled(self, logical: str, enabled: bool) -> None:
         with self._lock:
             self._require(logical).enabled = enabled
+            self._invalidate(logical)
+
+    def _invalidate(self, logical: str) -> None:
+        """Drop a cached lookup after any mutation of its record."""
+        self._cache.pop(logical, None)
 
     def _persist(self, record: ServiceRecord) -> None:
         if self._db is None:
@@ -161,8 +192,26 @@ class ServiceRegistry:
         return record
 
     def lookup(self, logical: str) -> ServiceRecord:
-        """Full record for a logical address (raises UnknownServiceError)."""
+        """Full record for a logical address (raises UnknownServiceError).
+
+        Read-through cached (see ``lookup_cache_ttl``): a hit returns the
+        live record without taking the registry lock; a miss resolves
+        under the lock and populates the cache.  Unknown/disabled names
+        are never negatively cached — a service that registers becomes
+        resolvable immediately.
+        """
         self._m_lookups.inc()
+        if self._cache_ttl > 0:
+            entry = self._cache.get(logical)
+            if entry is not None:
+                record, deadline = entry
+                if deadline >= time.monotonic() and record.enabled:
+                    self._m_cache_hits.inc()
+                    with self._lock:
+                        self._lookups += 1
+                    return record
+                self._cache.pop(logical, None)
+            self._m_cache_misses.inc()
         with self._lock:
             self._lookups += 1
             record = self._records.get(logical)
@@ -175,6 +224,8 @@ class ServiceRegistry:
             self._m_misses.inc()
             log_event(self._log, logging.DEBUG, "miss", logical=logical)
             raise UnknownServiceError(logical)
+        if self._cache_ttl > 0:
+            self._cache[logical] = (record, time.monotonic() + self._cache_ttl)
         return record
 
     def resolve(self, logical: str) -> str:
@@ -199,6 +250,18 @@ class ServiceRegistry:
     def stats(self) -> dict[str, int]:
         with self._lock:
             return {"lookups": self._lookups, "misses": self._misses}
+
+    def cache_stats(self) -> dict[str, float]:
+        """Lookup-cache effectiveness (also exported as
+        ``registry_cache_total{outcome=hit|miss}``)."""
+        hits = float(self._m_cache_hits.get())
+        misses = float(self._m_cache_misses.get())
+        total = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / total if total else 0.0,
+        }
 
     # -- liveness (future work: "checking if service is alive") -----------
     def check_alive(

@@ -178,6 +178,9 @@ class SimMsgDispatcherConfig:
     accept_queue: int = 1024
     destination_queue: int = 1024
     batch_size: int = 8
+    #: drain a multi-message batch as one pipelined burst on the leased
+    #: connection instead of serial request/response round-trips
+    pipeline_batches: bool = True
     #: concurrent WsThreads (connections) a single busy destination may use
     parallel_per_destination: int = 1
     destination_idle_ttl: float = 10.0
@@ -542,8 +545,11 @@ class SimMsgDispatcher:
                 slot = self._ws_slots.request()
                 yield slot
                 try:
-                    for item in batch:
-                        yield from self._deliver(host, port, *item)
+                    if self.config.pipeline_batches and len(batch) > 1:
+                        yield from self._deliver_batch(host, port, batch)
+                    else:
+                        for item in batch:
+                            yield from self._deliver(host, port, *item)
                 finally:
                     slot.release()
         finally:
@@ -606,6 +612,75 @@ class SimMsgDispatcher:
             trace=trace.trace_id if trace else None, dest=dest,
         )
         self._absorb_inband_response(response, message_id, trace, parent_span_id)
+
+    def _deliver_batch(self, host: str, port: int, batch: list):
+        """Drain one batch as a single pipelined burst (simulated twin of
+        the threaded ``MsgDispatcher._deliver_batch``).
+
+        Per-item semantics match :meth:`_deliver` — queue-wait spans,
+        delivered/failed accounting, in-band response absorption — but the
+        wire schedule is one write burst instead of N serialized round
+        trips, plus one ``pipeline-burst`` span per distinct trace in the
+        batch parenting the per-item ``deliver`` spans.
+        """
+        dest = f"{host}:{port}"
+        t_burst = self.sim.now
+        for path, body, message_id, trace, parent_sid, enqueued_at in batch:
+            if enqueued_at is not None:
+                self._m_queue_wait.labels(queue="destination").observe(
+                    t_burst - enqueued_at
+                )
+                if trace is not None:
+                    self.traces.record(
+                        trace.trace_id, "queue-wait", "msgd",
+                        enqueued_at, t_burst,
+                        parent_id=parent_sid, queue="destination", dest=dest,
+                    )
+        requests = [_soap_post(path, body) for path, body, *_ in batch]
+        outcomes = yield from self.pool.pipeline(host, port, requests)
+        t_done = self.sim.now
+
+        burst_sid = None
+        traced = {
+            item[3].trace_id: item for item in batch if item[3] is not None
+        }
+        if traced:
+            burst_sid = self.traces.new_span_id()
+            for trace_id, first in traced.items():
+                self.traces.record(
+                    trace_id, "pipeline-burst", "msgd",
+                    t_burst, t_done,
+                    span_id=burst_sid, parent_id=first[4],
+                    dest=dest, size=len(batch),
+                )
+        for item, outcome in zip(batch, outcomes):
+            _path, _body, message_id, trace, parent_sid, _enq = item
+            if isinstance(outcome, HttpResponse) and outcome.status < 400:
+                self.counters.inc("delivered")
+                self._m_delivered.inc()
+                self._m_transmit.observe(t_done - t_burst)
+                if trace is not None:
+                    self.traces.record(
+                        trace.trace_id, "deliver", "msgd",
+                        t_burst, t_done,
+                        parent_id=burst_sid,
+                        dest=dest,
+                    )
+                log_event(
+                    self._log, logging.DEBUG, "deliver",
+                    trace=trace.trace_id if trace else None, dest=dest,
+                )
+                self._absorb_inband_response(
+                    outcome, message_id, trace, parent_sid
+                )
+            else:
+                self.counters.inc("delivery_failures")
+                self._m_dropped.labels(reason="delivery_failure").inc()
+                log_event(
+                    self._log, logging.WARNING, "drop",
+                    trace=trace.trace_id if trace else None,
+                    reason="delivery_failure", dest=dest,
+                )
 
     def _absorb_inband_response(
         self,

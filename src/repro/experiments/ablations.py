@@ -158,7 +158,12 @@ def check_msgbox_bug(report: ExperimentReport) -> list[str]:
 # A1: dispatcher pool sizing
 # ---------------------------------------------------------------------------
 
-def _msgbox_scenario(ws_workers: int, batch_size: int, pool_per_destination: int):
+def _msgbox_scenario(
+    ws_workers: int,
+    batch_size: int,
+    pool_per_destination: int,
+    pipeline_batches: bool = True,
+):
     sim = Simulator()
     net = Network(sim)
     client = add_site(net, INRIA, name="inria")
@@ -172,7 +177,8 @@ def _msgbox_scenario(ws_workers: int, batch_size: int, pool_per_destination: int
     registry = ServiceRegistry()
     registry.register("echo", "http://iuWS:9000/echo")
     config = SimMsgDispatcherConfig(
-        cx_workers=4, ws_workers=ws_workers, batch_size=batch_size
+        cx_workers=4, ws_workers=ws_workers, batch_size=batch_size,
+        pipeline_batches=pipeline_batches,
     )
     dispatcher = SimMsgDispatcher(
         net, wsd_host, registry, own_address="http://iuWSD:8000/msg", config=config
@@ -254,27 +260,34 @@ def batching(
         description="Batched delivery over persistent connections vs "
         "connection-per-message",
     )
-    rows = ["variant\taccepted/min\tdelivered\tfresh_connects\treuses"]
+    rows = [
+        "variant\taccepted/min\tdelivered\tfresh_connects\treuses\tbursts"
+    ]
     variants = {
-        "batch=8, persistent": (8, 2),
-        "batch=1, persistent": (1, 2),
-        "batch=1, conn-per-msg": (1, 0),
+        "batch=8, pipelined": (8, 2, True),
+        "batch=8, serial-drain": (8, 2, False),
+        "batch=1, persistent": (1, 2, False),
+        "batch=1, conn-per-msg": (1, 0, False),
     }
-    for label, (batch, pool) in variants.items():
+    for label, (batch, pool, pipelined) in variants.items():
         sim, net, client, store, dispatcher = _msgbox_scenario(
-            ws_workers=8, batch_size=batch, pool_per_destination=pool
+            ws_workers=8, batch_size=batch, pool_per_destination=pool,
+            pipeline_batches=pipelined,
         )
         result = _run_msgbox_load(sim, net, client, store, clients, duration)
         rows.append(
             f"{label}\t{result.per_minute:.0f}\t"
             f"{dispatcher.stats.get('delivered', 0)}\t"
-            f"{dispatcher.pool.fresh_connects}\t{dispatcher.pool.reuses}"
+            f"{dispatcher.pool.fresh_connects}\t{dispatcher.pool.reuses}\t"
+            f"{dispatcher.pool.pipelined_bursts}"
         )
         report.extras[label] = {
             "accepted_per_min": result.per_minute,
             "delivered": dispatcher.stats.get("delivered", 0),
             "fresh_connects": dispatcher.pool.fresh_connects,
             "reuses": dispatcher.pool.reuses,
+            "pipelined_bursts": dispatcher.pool.pipelined_bursts,
+            "pipeline_replays": dispatcher.pool.pipeline_replays,
         }
     report.tables = ["\n".join(rows)]
     return report

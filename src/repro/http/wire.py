@@ -46,6 +46,17 @@ def serialize_request(req: HttpRequest) -> bytes:
     return b"".join(out)
 
 
+def serialize_request_burst(requests) -> bytes:
+    """Wire bytes for several requests back-to-back (HTTP/1.1 pipelining).
+
+    The burst is what a WsThread writes in one send on a leased
+    connection: N serialized requests with no interleaved reads.  The
+    responses come back in order; :class:`ResponseParser` already handles
+    several messages in one buffer, so no new parse mode is needed.
+    """
+    return b"".join(serialize_request(r) for r in requests)
+
+
 def serialize_response(resp: HttpResponse) -> bytes:
     """Wire bytes for a response; always emits explicit Content-Length."""
     headers = resp.headers.copy()

@@ -8,7 +8,7 @@ inside one Python process or across localhost sockets unchanged.
 """
 
 from repro.rt.server import HttpServer
-from repro.rt.client import HttpClient
+from repro.rt.client import ConnectionLease, HttpClient
 from repro.rt.service import (
     RequestContext,
     SoapService,
@@ -21,6 +21,7 @@ from repro.rt.service import (
 __all__ = [
     "HttpServer",
     "HttpClient",
+    "ConnectionLease",
     "RequestContext",
     "SoapService",
     "SoapHttpApp",

@@ -5,24 +5,38 @@ WsThreads hold "an open connection for a predefined time with a specified
 WS").  A connection is reused only when the previous exchange left it at a
 message boundary; anything suspicious is discarded and the request retried
 once on a fresh connection.
+
+Two access patterns:
+
+- :meth:`HttpClient.request` — one blocking request/response exchange,
+  connection borrowed from the pool for its duration.
+- :meth:`HttpClient.lease` — check a connection out for *exclusive* use
+  (a WsThread holding its destination), then :meth:`ConnectionLease.pipeline`
+  a whole drained batch as one write burst and read the responses in
+  order (HTTP/1.1 pipelining).  Several messages then ride one connection
+  as one round trip instead of one round trip each — the paper's "more
+  efficient than opening multiple short lived connections", taken at its
+  word.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
 from repro.errors import (
     ConnectionClosed,
     ConnectionTimeout,
     HttpParseError,
+    ReproError,
     SoapError,
     TransportError,
     XmlError,
 )
 from repro.http import Headers, HttpRequest, HttpResponse
-from repro.http.wire import ResponseParser, serialize_request
+from repro.http.wire import ResponseParser, serialize_request, serialize_request_burst
 from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.soap import Envelope
 from repro.transport.base import Connector, Endpoint, Stream, parse_http_url
@@ -65,6 +79,20 @@ class HttpClient:
             "wall time of one client HTTP exchange",
             bucket_width=0.001,
         )
+        reuse = registry.counter(
+            "rt_client_conn_reuse_total", "connection checkouts, by outcome"
+        )
+        self._m_reuse_reused = reuse.labels(outcome="reused")
+        self._m_reuse_fresh = reuse.labels(outcome="fresh")
+        self._m_reuse_stale = reuse.labels(outcome="stale_retry")
+        self._m_pipeline_bursts = registry.counter(
+            "rt_client_pipeline_bursts_total",
+            "pipelined write bursts issued on leased connections",
+        )
+        self._m_pipeline_replayed = registry.counter(
+            "rt_client_pipeline_replayed_total",
+            "pipelined requests replayed serially after a cut-short burst",
+        )
 
     # -- connection pool -------------------------------------------------
     def _checkout(self, endpoint: Endpoint) -> tuple[Stream, bool]:
@@ -72,7 +100,9 @@ class HttpClient:
         with self._lock:
             pool = self._pools.get(endpoint)
             if pool:
+                self._m_reuse_reused.inc()
                 return pool.pop(), True
+        self._m_reuse_fresh.inc()
         return (
             self._connector.connect(endpoint, timeout=self.connect_timeout),
             False,
@@ -104,18 +134,31 @@ class HttpClient:
         self.close()
 
     # -- request execution -------------------------------------------------
-    def request(self, url: str, request: HttpRequest) -> HttpResponse:
-        """Send one request to ``url``'s endpoint and read the response.
+    def prepare(self, url: str, request: HttpRequest) -> Endpoint:
+        """Point ``request`` at ``url``: target, Host, User-Agent.
 
-        The request's ``target`` is overwritten with the URL's path.
-        Retries exactly once on a stale pooled connection.
+        Returns the parsed endpoint.  Used by :meth:`request` and by
+        callers that batch prepared requests for a :class:`ConnectionLease`.
         """
         endpoint, path = parse_http_url(url)
         request.target = path
         request.headers.set("Host", str(endpoint))
         if "User-Agent" not in request.headers:
             request.headers.set("User-Agent", self._user_agent)
+        return endpoint
 
+    def request(self, url: str, request: HttpRequest) -> HttpResponse:
+        """Send one request to ``url``'s endpoint and read the response.
+
+        The request's ``target`` is overwritten with the URL's path.
+        Retries exactly once on a stale pooled connection.
+        """
+        endpoint = self.prepare(url, request)
+        return self._request_prepared(endpoint, request)
+
+    def _request_prepared(
+        self, endpoint: Endpoint, request: HttpRequest
+    ) -> HttpResponse:
         t_start = time.monotonic()
         stream, reused = self._checkout(endpoint)
         try:
@@ -123,11 +166,19 @@ class HttpClient:
             self._m_requests.inc()
             self._m_request_time.observe(time.monotonic() - t_start)
             return response
+        except ConnectionTimeout:
+            # Deliberately not retried, even on a reused connection: the
+            # server may still be processing the request, so a replay on a
+            # fresh connection risks delivering it twice.  Staleness shows
+            # up as an immediate close/reset, never as a silent deadline.
+            stream.close()
+            raise
         except (ConnectionClosed, HttpParseError, TransportError):
             stream.close()
             if not reused:
                 raise
         # stale pooled connection: one retry on a fresh one
+        self._m_reuse_stale.inc()
         stream = self._connector.connect(endpoint, timeout=self.connect_timeout)
         try:
             response = self._exchange(endpoint, stream, request)
@@ -137,6 +188,38 @@ class HttpClient:
         except BaseException:
             stream.close()
             raise
+
+    # -- connection leases & pipelining ------------------------------------
+    def lease(self, url: str) -> "ConnectionLease":
+        """Check a connection to ``url``'s endpoint out for exclusive use.
+
+        The lease holds one pooled (or freshly opened) connection that no
+        concurrent :meth:`request` call can touch until
+        :meth:`ConnectionLease.release` returns it.  This is the WsThread
+        contract: one persistent connection per destination, drained
+        batches ride it as pipelined bursts.
+        """
+        endpoint, _path = parse_http_url(url)
+        return ConnectionLease(self, endpoint)
+
+    def pipeline(
+        self, url: str, requests: Sequence[HttpRequest]
+    ) -> "list[HttpResponse | ReproError]":
+        """Send ``requests`` to ``url`` as one pipelined burst.
+
+        Every request is prepared against ``url`` (same target path), the
+        burst rides a temporary lease, and the result list is aligned with
+        the input: each slot holds the :class:`HttpResponse` or the
+        exception that request ended with.
+        """
+        prepared = list(requests)
+        for req in prepared:
+            self.prepare(url, req)
+        lease = self.lease(url)
+        try:
+            return lease.pipeline(prepared)
+        finally:
+            lease.release()
 
     def _exchange(
         self, endpoint: Endpoint, stream: Stream, request: HttpRequest
@@ -187,3 +270,152 @@ class HttpClient:
             raise SoapError(
                 f"non-SOAP response (HTTP {response.status}) from {url}: {exc}"
             ) from exc
+
+
+class ConnectionLease:
+    """Exclusive checkout of one connection to an endpoint.
+
+    Created by :meth:`HttpClient.lease`.  The leased stream is removed
+    from the shared pool, so nothing else can interleave bytes on it;
+    :meth:`release` returns it (if still at a clean message boundary) or
+    discards it.
+
+    :meth:`pipeline` is the drain-path workhorse: it serialises a batch of
+    prepared requests back-to-back, writes them as **one burst**, then
+    reads the responses in order.  When the burst is cut short — the
+    server closes mid-burst, or answers with ``Connection: close`` — the
+    undelivered tail is *replayed serially* (each tail request exactly
+    once, on ordinary pooled connections).  A response timeout poisons the
+    tail instead of replaying it: a slow server may still be processing
+    those requests, and replaying would deliver them twice.
+    """
+
+    def __init__(self, client: HttpClient, endpoint: Endpoint) -> None:
+        self._client = client
+        self.endpoint = endpoint
+        self._stream, self.reused = client._checkout(endpoint)
+        self._healthy = True
+        self._released = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def release(self) -> None:
+        """Return the connection to the pool (healthy) or discard it."""
+        if self._released:
+            return
+        self._released = True
+        stream, self._stream = self._stream, None
+        if stream is None:
+            return
+        if self._healthy:
+            self._client._checkin(self.endpoint, stream)
+        else:
+            stream.close()
+
+    def __enter__(self) -> "ConnectionLease":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def _demote(self) -> None:
+        """The leased stream is no longer usable; close and forget it."""
+        self._healthy = False
+        stream, self._stream = self._stream, None
+        if stream is not None:
+            stream.close()
+
+    # -- pipelined burst ---------------------------------------------------
+    def pipeline(
+        self, requests: "Iterable[HttpRequest]"
+    ) -> "list[HttpResponse | ReproError]":
+        """One write burst of already-prepared requests; responses in order.
+
+        Returns a list aligned with ``requests``: an :class:`HttpResponse`
+        per answered request, or the exception that request ended with.
+        Never raises for per-request failures — callers keep per-item
+        retry/hold semantics.
+        """
+        if self._released:
+            raise ReproError("pipeline on a released lease")
+        batch = list(requests)
+        if not batch:
+            return []
+        results: "list[HttpResponse | ReproError | None]" = [None] * len(batch)
+        self._client._m_pipeline_bursts.inc()
+        try:
+            self._stream.send(serialize_request_burst(batch))
+        except (ConnectionClosed, TransportError):
+            # nothing read back yet: the whole burst is the tail
+            self._demote()
+            return self._replay_tail(batch, results, 0)
+        parser = ResponseParser()
+        done = 0
+        while done < len(batch):
+            message = parser.next_message()
+            if message is not None:
+                results[done] = message
+                done += 1
+                self._client._m_requests.inc()
+                if not message.keep_alive:
+                    # server demotes us to serial: no more responses will
+                    # arrive on this connection
+                    self._demote()
+                    return self._replay_tail(batch, results, done)
+                continue
+            try:
+                data = self._stream.recv(
+                    _RECV_CHUNK, timeout=self._client.response_timeout
+                )
+            except ConnectionTimeout as exc:
+                # the tail may still be processed: poison, don't replay
+                self._demote()
+                for i in range(done, len(batch)):
+                    results[i] = exc
+                return results  # type: ignore[return-value]
+            except (ConnectionClosed, TransportError):
+                self._demote()
+                return self._replay_tail(batch, results, done)
+            if not data:
+                tail = self._finish_on_eof(parser)
+                if tail is not None and done < len(batch):
+                    results[done] = tail
+                    done += 1
+                    self._client._m_requests.inc()
+                self._demote()
+                return self._replay_tail(batch, results, done)
+            try:
+                parser.feed(data)
+            except HttpParseError:
+                self._demote()
+                return self._replay_tail(batch, results, done)
+        if not parser.idle:
+            # trailing bytes past the last response: not a clean boundary
+            self._demote()
+        return results  # type: ignore[return-value]
+
+    @staticmethod
+    def _finish_on_eof(parser: ResponseParser) -> HttpResponse | None:
+        """EOF may legally complete a read-until-close response."""
+        try:
+            parser.feed_eof()
+        except HttpParseError:
+            return None
+        return parser.next_message()  # type: ignore[return-value]
+
+    def _replay_tail(
+        self,
+        batch: "list[HttpRequest]",
+        results: "list[HttpResponse | ReproError | None]",
+        start: int,
+    ) -> "list[HttpResponse | ReproError]":
+        """Serial fallback for the undelivered tail, one attempt each."""
+        if start < len(batch):
+            self._client._m_pipeline_replayed.inc(len(batch) - start)
+        for i in range(start, len(batch)):
+            try:
+                results[i] = self._client._request_prepared(
+                    self.endpoint, batch[i]
+                )
+            except ReproError as exc:
+                results[i] = exc
+        return results  # type: ignore[return-value]

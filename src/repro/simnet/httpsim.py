@@ -15,10 +15,17 @@ from repro.errors import (
     ConnectionClosed,
     ConnectionTimeout,
     HttpParseError,
+    ReproError,
     TransportError,
 )
 from repro.http import HttpRequest, HttpResponse
-from repro.http.wire import RequestParser, ResponseParser, serialize_request, serialize_response
+from repro.http.wire import (
+    RequestParser,
+    ResponseParser,
+    serialize_request,
+    serialize_request_burst,
+    serialize_response,
+)
 from repro.simnet.kernel import Simulator
 from repro.simnet.resources import Resource
 from repro.simnet.tcpsim import SimTcpConnection, TcpParams, connect, listen
@@ -95,21 +102,43 @@ class SimHttpServer:
                         return
                     parser.feed(data)
 
-                req_slot = self.workers.request()
-                yield req_slot
-                try:
-                    if self.service_time > 0:
-                        yield self.host.compute(self.service_time)
-                    response = self._invoke(request)
-                    if isinstance(response, types.GeneratorType):
-                        response = yield from response
-                finally:
-                    req_slot.release()
-                if not request.keep_alive:
-                    response.headers.set("Connection", "close")
-                yield from conn.send(serialize_response(response))
-                self.requests_served += 1
-                if not request.keep_alive or not response.keep_alive:
+                # A pipelined client may have several requests already
+                # buffered; process them all and coalesce the responses
+                # into one write, the way a real server's socket buffer
+                # streams back-to-back responses (one propagation delay
+                # for the whole burst, not one per response).  A serial
+                # client never has more than one request buffered, so its
+                # timing is unchanged.
+                pending = [request]
+                while True:
+                    more = parser.next_message()
+                    if more is None:
+                        break
+                    pending.append(more)
+                responses = []
+                close_after = False
+                for req in pending:
+                    req_slot = self.workers.request()
+                    yield req_slot
+                    try:
+                        if self.service_time > 0:
+                            yield self.host.compute(self.service_time)
+                        response = self._invoke(req)
+                        if isinstance(response, types.GeneratorType):
+                            response = yield from response
+                    finally:
+                        req_slot.release()
+                    if not req.keep_alive:
+                        response.headers.set("Connection", "close")
+                    responses.append(response)
+                    if not req.keep_alive or not response.keep_alive:
+                        close_after = True
+                        break
+                yield from conn.send(
+                    b"".join(serialize_response(r) for r in responses)
+                )
+                self.requests_served += len(responses)
+                if close_after:
                     return
         except (TransportError, HttpParseError):
             return
@@ -195,17 +224,29 @@ class SimHttpClientPool:
         self._idle: dict[tuple[str, int], list[SimTcpConnection]] = {}
         self.reuses = 0
         self.fresh_connects = 0
+        self.pipelined_bursts = 0
+        self.pipeline_replays = 0
 
-    def exchange(self, server_name: str, port: int, request: HttpRequest):
-        """Process step: request/response with connection reuse."""
-        key = (server_name, port)
-        conn: SimTcpConnection | None = None
+    def _checkout_idle(self, key: tuple[str, int]) -> SimTcpConnection | None:
+        """Pop a still-usable idle connection to ``key``, or None."""
         pool = self._idle.get(key)
         while pool:
             candidate = pool.pop()
             if not candidate.closed and candidate.peer and not candidate.peer.closed:
-                conn = candidate
-                break
+                return candidate
+        return None
+
+    def _checkin_idle(self, key: tuple[str, int], conn: SimTcpConnection) -> None:
+        bucket = self._idle.setdefault(key, [])
+        if len(bucket) < self.pool_per_destination:
+            bucket.append(conn)
+        else:
+            conn.close()
+
+    def exchange(self, server_name: str, port: int, request: HttpRequest):
+        """Process step: request/response with connection reuse."""
+        key = (server_name, port)
+        conn = self._checkout_idle(key)
         reused = conn is not None
         if conn is None:
             params = TcpParams(connect_timeout=self.connect_timeout)
@@ -236,14 +277,113 @@ class SimHttpClientPool:
             else:
                 raise
         if response.keep_alive:
-            bucket = self._idle.setdefault(key, [])
-            if len(bucket) < self.pool_per_destination:
-                bucket.append(conn)
-            else:
-                conn.close()
+            self._checkin_idle(key, conn)
         else:
             conn.close()
         return response
+
+    # -- pipelined bursts (the WsThread drain path) ------------------------
+    def pipeline(self, server_name: str, port: int, requests):
+        """Process step: send ``requests`` as one write burst; read responses.
+
+        The simulated twin of
+        :meth:`repro.rt.client.ConnectionLease.pipeline`: one send models
+        the whole burst, the N responses are read back in order, and a
+        cut-short burst (server close, ``Connection: close``) replays the
+        undelivered tail serially via :meth:`exchange` — each tail request
+        exactly once.  A response timeout poisons the tail instead (the
+        server may still process those requests).  Returns a list aligned
+        with ``requests`` of :class:`HttpResponse` or the exception.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        key = (server_name, port)
+        conn = self._checkout_idle(key)
+        if conn is None:
+            params = TcpParams(connect_timeout=self.connect_timeout)
+            try:
+                conn = yield from connect(
+                    self.net, self.host, server_name, port, params
+                )
+            except (TransportError, ReproError) as exc:
+                return [exc] * len(requests)
+            self.fresh_connects += 1
+        else:
+            self.reuses += 1
+        self.pipelined_bursts += 1
+        results: list = [None] * len(requests)
+        try:
+            yield from conn.send(serialize_request_burst(requests))
+        except (TransportError, HttpParseError):
+            conn.close()
+            out = yield from self._replay_tail(server_name, port, requests, results, 0)
+            return out
+        parser = ResponseParser()
+        done = 0
+        while done < len(requests):
+            message = parser.next_message()
+            if message is not None:
+                results[done] = message
+                done += 1
+                if not message.keep_alive:
+                    # server demotes the burst to serial
+                    conn.close()
+                    out = yield from self._replay_tail(
+                        server_name, port, requests, results, done
+                    )
+                    return out
+                continue
+            try:
+                data = yield from conn.recv(timeout=self.response_timeout)
+            except ConnectionTimeout as exc:
+                conn.close()
+                for i in range(done, len(requests)):
+                    results[i] = exc
+                return results
+            except (TransportError, HttpParseError):
+                conn.close()
+                out = yield from self._replay_tail(
+                    server_name, port, requests, results, done
+                )
+                return out
+            if not data:
+                try:
+                    parser.feed_eof()
+                    tail = parser.next_message()
+                except HttpParseError:
+                    tail = None
+                if tail is not None and done < len(requests):
+                    results[done] = tail
+                    done += 1
+                conn.close()
+                out = yield from self._replay_tail(
+                    server_name, port, requests, results, done
+                )
+                return out
+            try:
+                parser.feed(data)
+            except HttpParseError:
+                conn.close()
+                out = yield from self._replay_tail(
+                    server_name, port, requests, results, done
+                )
+                return out
+        self._checkin_idle(key, conn)
+        return results
+
+    def _replay_tail(self, server_name: str, port: int, requests, results, start):
+        """Serial fallback for a cut-short burst's undelivered tail."""
+        if start < len(requests):
+            self.pipeline_replays += len(requests) - start
+        for i in range(start, len(requests)):
+            try:
+                results[i] = yield from self.exchange(
+                    server_name, port, requests[i]
+                )
+            except (TransportError, ReproError) as exc:
+                results[i] = exc
+        return results
 
     def close_all(self) -> None:
         for pool in self._idle.values():

@@ -95,17 +95,25 @@ class ClosableQueue(Generic[T]):
     def get_batch(self, max_items: int, timeout: float | None = None) -> list[T]:
         """Dequeue up to ``max_items`` in one call (connection batching).
 
-        Blocks for the first item only; the rest are taken opportunistically.
+        Blocks for the first item only; anything already queued rides
+        along immediately.  The whole batch is taken under one lock
+        acquisition, so two competing consumers cannot interleave inside
+        one batch — each batch is a contiguous FIFO slice of the queue.
         """
         if max_items <= 0:
             raise ValueError("max_items must be positive")
-        first = self.get(timeout)
-        batch = [first]
-        with self._lock:
+        with self._not_empty:
+            if not self._not_empty.wait_for(
+                lambda: self._items or self._closed, timeout
+            ):
+                raise TimeoutError("queue.get_batch timed out")
+            if not self._items:
+                raise QueueClosed
+            batch = [self._items.popleft()]
             while self._items and len(batch) < max_items:
                 batch.append(self._items.popleft())
             self._not_full.notify_all()
-        return batch
+            return batch
 
     def close(self) -> None:
         """Close the queue; waiting getters drain remaining items then stop."""

@@ -174,3 +174,91 @@ class TestRegistryService:
     def test_render_listing_empty(self):
         html = RegistryService(ServiceRegistry()).render_listing()
         assert "no services" in html
+
+
+class TestLookupCache:
+    """Read-through cache in front of ``lookup`` (the CxThread hot path)."""
+
+    def _registry(self, ttl=5.0):
+        from repro.obs.metrics import MetricsRegistry
+
+        return ServiceRegistry(metrics=MetricsRegistry(), lookup_cache_ttl=ttl)
+
+    def test_repeat_lookups_hit_the_cache(self):
+        reg = self._registry()
+        reg.register("echo", "http://ws:9000/echo")
+        for _ in range(10):
+            assert reg.lookup("echo").logical == "echo"
+        stats = reg.cache_stats()
+        assert stats == {"hits": 9.0, "misses": 1.0, "hit_rate": 0.9}
+
+    def test_resolve_goes_through_the_cache(self):
+        reg = self._registry()
+        reg.register("echo", "http://ws:9000/echo")
+        for _ in range(5):
+            assert reg.resolve("echo") == "http://ws:9000/echo"
+        assert reg.cache_stats()["hits"] == 4.0
+
+    def test_ttl_expiry_re_resolves(self):
+        import time as _time
+
+        reg = self._registry(ttl=0.05)
+        reg.register("echo", "http://ws:9000/echo")
+        reg.lookup("echo")
+        reg.lookup("echo")
+        assert reg.cache_stats()["hits"] == 1.0
+        _time.sleep(0.06)
+        reg.lookup("echo")
+        assert reg.cache_stats()["misses"] == 2.0  # expired entry re-resolved
+
+    def test_zero_ttl_disables_the_cache(self):
+        reg = self._registry(ttl=0)
+        reg.register("echo", "http://ws:9000/echo")
+        reg.lookup("echo")
+        reg.lookup("echo")
+        assert reg.cache_stats() == {"hits": 0.0, "misses": 0.0, "hit_rate": 0.0}
+
+    def test_unknown_name_is_never_negatively_cached(self):
+        reg = self._registry()
+        with pytest.raises(UnknownServiceError):
+            reg.lookup("ghost")
+        reg.register("ghost", "http://ws:9000/ghost")
+        # resolvable immediately — no stale negative entry
+        assert reg.lookup("ghost").logical == "ghost"
+
+    def test_every_mutator_invalidates(self):
+        """All five mutators must drop the cached record immediately."""
+        reg = self._registry()
+        reg.register("svc", "http://a:1/svc")
+
+        def cached_physical():
+            return list(reg.lookup("svc").physical)
+
+        assert cached_physical() == ["http://a:1/svc"]
+
+        reg.add_physical("svc", "http://b:2/svc")
+        assert cached_physical() == ["http://a:1/svc", "http://b:2/svc"]
+
+        reg.remove_physical("svc", "http://a:1/svc")
+        assert cached_physical() == ["http://b:2/svc"]
+
+        reg.register("svc", "http://c:3/svc")  # re-register replaces record
+        assert cached_physical() == ["http://c:3/svc"]
+
+        reg.set_enabled("svc", False)
+        with pytest.raises(UnknownServiceError):
+            reg.lookup("svc")
+        reg.set_enabled("svc", True)
+        assert cached_physical() == ["http://c:3/svc"]
+
+        reg.unregister("svc")
+        with pytest.raises(UnknownServiceError):
+            reg.lookup("svc")
+
+    def test_disabled_record_never_served_from_cache(self):
+        reg = self._registry()
+        reg.register("svc", "http://a:1/svc")
+        reg.lookup("svc")  # populate cache
+        reg.set_enabled("svc", False)
+        with pytest.raises(UnknownServiceError):
+            reg.lookup("svc")

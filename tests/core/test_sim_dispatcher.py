@@ -245,3 +245,76 @@ class TestSimMsgDispatcher:
 
         assert sim.run(sim.process(call())) == 504
         assert disp.stats.get("bridge_timeouts") == 1
+
+
+class TestSimPipelinedDrain:
+    """The simulated WsThread drain mirrors the threaded pipelined burst."""
+
+    def _pipeline_world(self, sim, pipelined: bool):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.trace import TraceStore
+        from repro.simnet.topology import AccessLink, Network
+
+        net = Network(sim)
+        link = AccessLink(5000, 5000, 0.005)
+        ws_host = net.add_host("ws", link)
+        wsd_host = net.add_host("wsd", link)
+        echo = SimAsyncEchoService(net, ws_host, reply_senders=8)
+        SimHttpServer(net, ws_host, 9000, echo.handler)
+        registry = ServiceRegistry(metrics=MetricsRegistry())
+        registry.register("echo", "http://ws:9000/echo")
+        disp = SimMsgDispatcher(
+            net, wsd_host, registry, own_address="http://wsd:8000/msg",
+            config=SimMsgDispatcherConfig(
+                cx_workers=2, ws_workers=2, batch_size=8,
+                pipeline_batches=pipelined,
+            ),
+            metrics=MetricsRegistry(), traces=TraceStore(),
+        )
+        return net, disp, echo
+
+    def _feed(self, disp, count, traced=False):
+        from repro.obs.trace import TraceContext
+
+        ids = IdGenerator("pipe", seed=7)
+        traces = []
+        for i in range(count):
+            msg = make_echo_message(to="urn:wsd:echo", message_id=ids.next())
+            trace = TraceContext(f"sim-pipe-{i}") if traced else None
+            traces.append(trace)
+            assert disp._accept.try_put((msg, "/msg/echo", trace, 0.0))
+        return traces
+
+    def test_backlog_drains_as_pipelined_bursts(self, sim):
+        net, disp, echo = self._pipeline_world(sim, pipelined=True)
+        self._feed(disp, 8)
+        sim.run(until=10.0)
+        assert disp.stats["delivered"] == 8
+        assert echo.stats["received"] == 8
+        assert disp.pool.pipelined_bursts >= 1
+        assert disp.pool.pipeline_replays == 0
+
+    def test_serial_drain_still_works_with_knob_off(self, sim):
+        net, disp, echo = self._pipeline_world(sim, pipelined=False)
+        self._feed(disp, 8)
+        sim.run(until=10.0)
+        assert disp.stats["delivered"] == 8
+        assert disp.pool.pipelined_bursts == 0
+
+    def test_burst_span_recorded_per_trace_with_shared_id(self, sim):
+        net, disp, echo = self._pipeline_world(sim, pipelined=True)
+        traces = self._feed(disp, 6, traced=True)
+        sim.run(until=10.0)
+        assert disp.stats["delivered"] == 6
+        burst_sids = set()
+        for ctx in traces:
+            spans = disp.traces.get(ctx.trace_id)
+            burst = [s for s in spans if s.name == "pipeline-burst"]
+            deliver = [s for s in spans if s.name == "deliver"]
+            assert len(burst) == 1
+            assert len(deliver) == 1
+            assert deliver[0].parent_id == burst[0].span_id
+            burst_sids.add(burst[0].span_id)
+        # items that rode the same burst share that burst's span id, so
+        # the number of distinct burst span ids equals the burst count
+        assert len(burst_sids) == disp.pool.pipelined_bursts

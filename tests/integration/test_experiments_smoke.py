@@ -57,7 +57,7 @@ class TestAblations:
 
     def test_batching_beats_connection_per_message(self):
         report = ablations.batching(clients=15, duration=10.0)
-        batched = report.extras["batch=8, persistent"]
+        batched = report.extras["batch=8, pipelined"]
         per_msg = report.extras["batch=1, conn-per-msg"]
         assert batched["delivered"] > per_msg["delivered"]
         assert batched["fresh_connects"] < per_msg["fresh_connects"]

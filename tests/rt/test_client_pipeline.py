@@ -1,0 +1,262 @@
+"""Wire-behaviour tests for connection leases and HTTP/1.1 pipelining.
+
+Scripted raw servers (accepting in-process streams directly) exercise the
+cases a well-behaved :class:`~repro.rt.server.HttpServer` never produces:
+responses split at awkward byte boundaries, a close in the middle of a
+burst, and ``Connection: close`` demotion.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import ConnectionTimeout, ReproError
+from repro.http import Headers, HttpRequest, HttpResponse
+from repro.http.wire import RequestParser, serialize_response
+from repro.obs.metrics import MetricsRegistry
+from repro.rt.client import HttpClient
+from repro.rt.server import HttpServer
+
+
+def _post(body: bytes) -> HttpRequest:
+    headers = Headers()
+    headers.set("Content-Type", "text/plain")
+    return HttpRequest("POST", "/", headers=headers, body=body)
+
+
+def _response_bytes(body: bytes, close: bool = False) -> bytes:
+    resp = HttpResponse(200, body=body)
+    if close:
+        resp.headers.set("Connection", "close")
+    return serialize_response(resp)
+
+
+class ScriptedServer:
+    """Accepts raw in-process streams and runs a per-connection script.
+
+    ``script(stream, requests_seen)`` drives one connection; every parsed
+    request body is appended to ``self.processed`` so tests can assert
+    exactly-once handling across connections.
+    """
+
+    def __init__(self, inproc, address: str, script) -> None:
+        self.listener = inproc.listen(address)
+        self.script = script
+        self.processed: list[bytes] = []
+        self.connections = 0
+        self._threads: list[threading.Thread] = []
+        accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
+        accept_thread.start()
+        self._threads.append(accept_thread)
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                stream = self.listener.accept(timeout=5.0)
+            except Exception:
+                return
+            self.connections += 1
+            t = threading.Thread(
+                target=self.script, args=(self, stream), daemon=True
+            )
+            t.start()
+            self._threads.append(t)
+
+    def read_requests(self, stream, count: int) -> list[HttpRequest]:
+        """Parse ``count`` requests off the stream, recording their bodies."""
+        parser = RequestParser()
+        out: list[HttpRequest] = []
+        while len(out) < count:
+            message = parser.next_message()
+            if message is not None:
+                out.append(message)
+                continue
+            data = stream.recv(65536, timeout=5.0)
+            if not data:
+                break
+            parser.feed(data)
+        return out
+
+    def stop(self) -> None:
+        self.listener.close()
+
+
+def test_pipeline_happy_path_real_server(inproc):
+    served = []
+
+    def handler(request, peer=None):
+        served.append(request.body)
+        return HttpResponse(202)
+
+    srv = HttpServer(inproc.listen("pipe:80"), handler, workers=2).start()
+    client = HttpClient(inproc, metrics=MetricsRegistry())
+    requests = [_post(b"msg-%d" % i) for i in range(4)]
+    results = client.pipeline("http://pipe:80/sink", requests)
+    assert [r.status for r in results] == [202, 202, 202, 202]
+    assert served == [b"msg-0", b"msg-1", b"msg-2", b"msg-3"]
+    assert client._m_pipeline_bursts.labels().get() == 1
+    assert client._m_pipeline_replayed.labels().get() == 0
+    # clean burst: the leased connection went back to the pool
+    with client._lock:
+        assert sum(len(p) for p in client._pools.values()) == 1
+    srv.stop()
+    client.close()
+
+
+def test_partial_reads_across_response_boundaries(inproc):
+    """Responses split at arbitrary byte offsets still parse in order."""
+
+    def script(server, stream):
+        reqs = server.read_requests(stream, 3)
+        server.processed.extend(r.body for r in reqs)
+        wire = b"".join(_response_bytes(b"reply-%d" % i) for i in range(3))
+        # drip-feed in 7-byte chunks: every response spans several reads
+        # and most chunks straddle a message boundary at some point
+        for i in range(0, len(wire), 7):
+            stream.send(wire[i : i + 7])
+        # leave the connection open: the client must finish on framing,
+        # not on EOF
+
+    server = ScriptedServer(inproc, "chunky:80", script)
+    client = HttpClient(inproc, metrics=MetricsRegistry())
+    results = client.pipeline(
+        "http://chunky:80/x", [_post(b"m%d" % i) for i in range(3)]
+    )
+    assert [r.body for r in results] == [b"reply-0", b"reply-1", b"reply-2"]
+    assert client._m_pipeline_replayed.labels().get() == 0
+    server.stop()
+    client.close()
+
+
+def test_server_close_mid_burst_replays_tail_exactly_once(inproc):
+    """A close after K responses replays exactly the N-K tail, once each."""
+
+    def first_conn(server, stream):
+        reqs = server.read_requests(stream, 4)
+        assert len(reqs) == 4  # whole burst arrived
+        # process and answer only the first two, then die mid-burst
+        server.processed.extend(r.body for r in reqs[:2])
+        stream.send(_response_bytes(b"ok-0") + _response_bytes(b"ok-1"))
+        stream.close()
+
+    def replay_conn(server, stream):
+        while True:
+            reqs = server.read_requests(stream, 1)
+            if not reqs:
+                return
+            server.processed.append(reqs[0].body)
+            stream.send(_response_bytes(b"replayed"))
+
+    def script(server, stream):
+        if server.connections == 1:
+            first_conn(server, stream)
+        else:
+            replay_conn(server, stream)
+
+    server = ScriptedServer(inproc, "midburst:80", script)
+    client = HttpClient(inproc, metrics=MetricsRegistry())
+    results = client.pipeline(
+        "http://midburst:80/x", [_post(b"m%d" % i) for i in range(4)]
+    )
+    assert [r.body for r in results] == [b"ok-0", b"ok-1", b"replayed", b"replayed"]
+    # the tail was processed exactly once each, never the delivered head
+    assert server.processed == [b"m0", b"m1", b"m2", b"m3"]
+    assert client._m_pipeline_replayed.labels().get() == 2
+    server.stop()
+    client.close()
+
+
+def test_non_keep_alive_response_demotes_to_serial(inproc):
+    """``Connection: close`` on response K demotes the rest of the burst."""
+
+    def script(server, stream):
+        if server.connections == 1:
+            reqs = server.read_requests(stream, 3)
+            server.processed.append(reqs[0].body)
+            stream.send(_response_bytes(b"closing", close=True))
+            stream.close()
+        else:
+            while True:
+                reqs = server.read_requests(stream, 1)
+                if not reqs:
+                    return
+                server.processed.append(reqs[0].body)
+                stream.send(_response_bytes(b"serial"))
+
+    server = ScriptedServer(inproc, "demote:80", script)
+    client = HttpClient(inproc, metrics=MetricsRegistry())
+    results = client.pipeline(
+        "http://demote:80/x", [_post(b"m%d" % i) for i in range(3)]
+    )
+    assert [r.body for r in results] == [b"closing", b"serial", b"serial"]
+    assert server.processed == [b"m0", b"m1", b"m2"]
+    assert client._m_pipeline_replayed.labels().get() == 2
+    # the demoted lease must not return its stream to the pool
+    with client._lock:
+        pooled = [s for p in client._pools.values() for s in p]
+    for s in pooled:
+        assert s is not None  # replay connections may pool; lease's did not
+    server.stop()
+    client.close()
+
+
+def test_response_timeout_poisons_tail_without_replay(inproc):
+    """A silent server poisons the tail: replaying could double-deliver."""
+
+    def script(server, stream):
+        reqs = server.read_requests(stream, 3)
+        server.processed.extend(r.body for r in reqs)
+        stream.send(_response_bytes(b"only-one"))
+        # then say nothing: the client must time out, not replay
+
+    server = ScriptedServer(inproc, "silent:80", script)
+    client = HttpClient(inproc, response_timeout=0.2, metrics=MetricsRegistry())
+    results = client.pipeline(
+        "http://silent:80/x", [_post(b"m%d" % i) for i in range(3)]
+    )
+    assert results[0].body == b"only-one"
+    assert isinstance(results[1], ConnectionTimeout)
+    assert isinstance(results[2], ConnectionTimeout)
+    assert client._m_pipeline_replayed.labels().get() == 0
+    assert server.connections == 1  # no replay connection was opened
+    server.stop()
+    client.close()
+
+
+def test_lease_is_exclusive_and_returns_to_pool(inproc):
+    def handler(request, peer=None):
+        return HttpResponse(202)
+
+    srv = HttpServer(inproc.listen("lease:80"), handler, workers=2).start()
+    client = HttpClient(inproc, metrics=MetricsRegistry())
+    # seed the pool with one warm connection
+    client.request("http://lease:80/x", HttpRequest("GET", "/"))
+    with client._lock:
+        assert sum(len(p) for p in client._pools.values()) == 1
+    lease = client.lease("http://lease:80/x")
+    assert lease.reused
+    with client._lock:
+        assert sum(len(p) for p in client._pools.values()) == 0  # checked out
+    req = _post(b"payload")
+    client.prepare("http://lease:80/x", req)
+    results = lease.pipeline([req])
+    assert results[0].status == 202
+    lease.release()
+    with client._lock:
+        assert sum(len(p) for p in client._pools.values()) == 1  # returned
+    with pytest.raises(ReproError):
+        lease.pipeline([req])  # released lease refuses further bursts
+    srv.stop()
+    client.close()
+
+
+def test_empty_pipeline_is_a_noop(inproc):
+    def handler(request, peer=None):
+        return HttpResponse(202)
+
+    srv = HttpServer(inproc.listen("empty:80"), handler).start()
+    client = HttpClient(inproc, metrics=MetricsRegistry())
+    with client.lease("http://empty:80/x") as lease:
+        assert lease.pipeline([]) == []
+    srv.stop()
+    client.close()

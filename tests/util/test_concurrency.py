@@ -90,6 +90,77 @@ class TestClosableQueue:
         with pytest.raises(ValueError):
             ClosableQueue().get_batch(0)
 
+    def test_get_batch_returns_already_queued_items_immediately(self):
+        """Queued backlog must ride along with the first item — no second
+        wait, no trickle of one-item batches."""
+        q = ClosableQueue()
+        for i in range(5):
+            q.put(i)
+        start = time.monotonic()
+        batch = q.get_batch(8, timeout=5.0)
+        assert batch == [0, 1, 2, 3, 4]
+        assert time.monotonic() - start < 1.0  # no per-item blocking
+
+    def test_get_batch_wakes_on_late_first_item(self):
+        q = ClosableQueue()
+        got = []
+
+        def consumer():
+            got.extend(q.get_batch(4, timeout=5.0))
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        time.sleep(0.05)
+        q.put("a")
+        t.join(timeout=5.0)
+        assert got == ["a"]
+
+    def test_get_batch_timeout(self):
+        q = ClosableQueue()
+        with pytest.raises(TimeoutError):
+            q.get_batch(4, timeout=0.05)
+
+    def test_get_batch_raises_once_closed_and_drained(self):
+        q = ClosableQueue()
+        q.put(1)
+        q.close()
+        assert q.get_batch(4) == [1]
+        with pytest.raises(QueueClosed):
+            q.get_batch(4)
+
+    def test_get_batch_is_contiguous_under_contention(self):
+        """Competing consumers must each take a contiguous FIFO slice —
+        the whole batch comes out under one lock acquisition."""
+        q = ClosableQueue()
+        batches = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(4)
+
+        def consumer():
+            barrier.wait()
+            while True:
+                try:
+                    b = q.get_batch(16, timeout=0.5)
+                except (QueueClosed, TimeoutError):
+                    return
+                with lock:
+                    batches.append(b)
+
+        threads = [threading.Thread(target=consumer) for _ in range(3)]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        for i in range(300):
+            q.put(i)
+        q.close()
+        for t in threads:
+            t.join(timeout=5.0)
+        seen = sorted(x for b in batches for x in b)
+        assert seen == list(range(300))  # nothing lost or duplicated
+        for b in batches:
+            # contiguity: each batch is an unbroken run of the sequence
+            assert b == list(range(b[0], b[0] + len(b)))
+
 
 class TestBoundedExecutor:
     def test_runs_tasks(self):
