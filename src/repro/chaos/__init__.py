@@ -1,0 +1,45 @@
+"""Deterministic fault injection for the dispatcher stack.
+
+The mediated-peer world the paper targets treats hostile networks as the
+normal case: links flap, residential last miles drop packets, services
+crash and restart, and the registry itself can vanish.  This package
+turns those conditions into data — a :class:`FaultPlan` of timed faults —
+and two drivers that apply the same plan to either runtime:
+
+- :class:`ChaosController` schedules the plan onto a simulated
+  :class:`~repro.simnet.topology.Network` (link state, loss rates, host
+  crashes, CPU slowdowns, registry availability), so simnet scenarios
+  replay bit-identically under a seed.
+- :class:`FaultyHttpClient` wraps the threaded runtime's
+  :class:`~repro.rt.client.HttpClient` and injects the same plan at the
+  call boundary, so the threaded ``MsgDispatcher`` is testable against
+  identical fault schedules without a simulated network.
+"""
+
+from repro.chaos.plan import (
+    AddedLatency,
+    FaultPlan,
+    LinkDown,
+    LinkFlap,
+    PacketLoss,
+    RegistryOutage,
+    ServiceCrash,
+    ServiceStop,
+    SlowResponder,
+)
+from repro.chaos.controller import ChaosController
+from repro.chaos.shim import FaultyHttpClient
+
+__all__ = [
+    "AddedLatency",
+    "ChaosController",
+    "FaultPlan",
+    "FaultyHttpClient",
+    "LinkDown",
+    "LinkFlap",
+    "PacketLoss",
+    "RegistryOutage",
+    "ServiceCrash",
+    "ServiceStop",
+    "SlowResponder",
+]

@@ -1,0 +1,127 @@
+"""Real-mode fault injection: a FaultPlan-aware HTTP client wrapper.
+
+The threaded :class:`~repro.core.msg_dispatcher.MsgDispatcher` talks to
+the world through an :class:`~repro.rt.client.HttpClient`; wrapping that
+client is the thinnest seam where a :class:`~repro.chaos.plan.FaultPlan`
+can be applied without a simulated network.  The shim evaluates the plan
+against elapsed clock time and either injects the fault (an exception or
+added latency) or delegates to the inner client.  All probabilistic
+draws come from the plan's seed, so a threaded test replays the same
+fault decisions run after run (modulo thread scheduling).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+from repro.chaos.plan import FaultPlan
+from repro.errors import ConnectionRefused, ConnectionTimeout, TransportError
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.transport.base import parse_http_url
+from repro.util.clock import Clock, MonotonicClock
+
+
+class FaultyHttpClient:
+    """Wraps an :class:`HttpClient`; injects plan faults per request.
+
+    - crashed host / downed link → :class:`ConnectionTimeout`
+    - stopped service → :class:`ConnectionRefused`
+    - packet loss → seeded coin flip per request; a loss raises
+      :class:`TransportError` (the retry layer's problem, as in simnet)
+    - added latency/jitter → the calling thread sleeps before delegating
+
+    Plan time starts at construction (or pass ``start`` to pin it).
+    """
+
+    def __init__(
+        self,
+        inner,
+        plan: FaultPlan,
+        clock: Clock | None = None,
+        start: float | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.inner = inner
+        self.plan = plan
+        self.clock = clock or MonotonicClock()
+        self._t0 = self.clock.now() if start is None else start
+        self._rng = random.Random(plan.seed)
+        self._lock = threading.Lock()
+        self.metrics = metrics if metrics is not None else default_registry()
+        self._m_injected = self.metrics.counter(
+            "chaos_faults_injected_total", "fault windows begun, by kind"
+        )
+        self.injected = 0
+
+    # -- plan evaluation ---------------------------------------------------
+    def _elapsed(self) -> float:
+        return self.clock.now() - self._t0
+
+    def _inject(self, kind: str) -> None:
+        with self._lock:
+            self.injected += 1
+        self._m_injected.labels(kind=kind).inc()
+
+    def _check(self, url: str) -> None:
+        """Raise (or delay) according to the plan; returns on no fault."""
+        endpoint, _path = parse_http_url(url)
+        host = endpoint.host
+        t = self._elapsed()
+        if self.plan.is_crashed(host, t):
+            self._inject("ServiceCrash")
+            raise ConnectionTimeout(f"chaos: {host} is down")
+        if self.plan.is_link_down(host, t):
+            self._inject("LinkDown")
+            raise ConnectionTimeout(f"chaos: link to {host} is down")
+        if self.plan.is_stopped(host, endpoint.port, t):
+            self._inject("ServiceStop")
+            raise ConnectionRefused(
+                f"chaos: nothing listening at {host}:{endpoint.port}"
+            )
+        rate = self.plan.loss_rate(host, t)
+        if rate > 0.0:
+            with self._lock:
+                lost = self._rng.random() < rate
+            if lost:
+                self._inject("PacketLoss")
+                raise TransportError(f"chaos: request to {host} lost")
+        extra, jitter = self.plan.extra_latency(host, t)
+        if extra > 0.0 or jitter > 0.0:
+            with self._lock:
+                delay = extra + self._rng.random() * jitter
+            self._inject("AddedLatency")
+            self.clock.sleep(delay)
+
+    # -- HttpClient surface ------------------------------------------------
+    def prepare(self, url: str, request):
+        return self.inner.prepare(url, request)
+
+    def request(self, url: str, request):
+        self._check(url)
+        return self.inner.request(url, request)
+
+    def lease(self, url: str):
+        self._check(url)
+        return self.inner.lease(url)
+
+    def pipeline(self, url: str, requests):
+        self._check(url)
+        return self.inner.pipeline(url, requests)
+
+    def post_envelope(self, url: str, envelope):
+        self._check(url)
+        return self.inner.post_envelope(url, envelope)
+
+    def call_soap(self, url: str, envelope):
+        self._check(url)
+        return self.inner.call_soap(url, envelope)
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def __enter__(self) -> "FaultyHttpClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

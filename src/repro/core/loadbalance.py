@@ -33,10 +33,31 @@ class BalancerPolicy:
         self._lock = threading.Lock()
         self._pending: dict[str, int] = {}
         self._picks: dict[str, int] = {}
+        self._health: Callable[[str], bool] | None = None
+
+    def set_health(self, predicate: Callable[[str], bool] | None) -> None:
+        """Install a health filter over candidate addresses (e.g. a
+        :meth:`~repro.reliable.breaker.BreakerRegistry.url_allowed`
+        bound method): addresses it rejects are excluded from selection.
+        When every address is unhealthy the full list is used — better a
+        probe against a broken replica than no selection at all."""
+        self._health = predicate
+
+    def _healthy(self, addresses: list[str]) -> list[str]:
+        if self._health is None:
+            return addresses
+        healthy = []
+        for address in addresses:
+            try:
+                if self._health(address):
+                    healthy.append(address)
+            except Exception:  # noqa: BLE001 - a broken probe never vetoes
+                healthy.append(address)
+        return healthy or addresses
 
     # registry selector signature
     def __call__(self, record: ServiceRecord) -> str:
-        choice = self.select(record.physical)
+        choice = self.select(self._healthy(record.physical))
         with self._lock:
             self._picks[choice] = self._picks.get(choice, 0) + 1
         return choice

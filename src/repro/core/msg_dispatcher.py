@@ -24,7 +24,13 @@ import logging
 import threading
 from dataclasses import dataclass, field
 
-from repro.errors import ReproError, RoutingError, TransportError, UnknownServiceError
+from repro.errors import (
+    OverloadedError,
+    ReproError,
+    RoutingError,
+    TransportError,
+    UnknownServiceError,
+)
 from repro.http import HttpResponse
 from repro.obs.logkv import component_logger, log_event
 from repro.obs.metrics import MetricsRegistry, default_registry
@@ -35,6 +41,7 @@ from repro.obs.trace import (
     default_trace_store,
     extract_trace,
 )
+from repro.reliable.breaker import BreakerConfig, BreakerOpenError, BreakerRegistry
 from repro.reliable.policy import RetryPolicy
 from repro.rt.client import HttpClient
 from repro.rt.service import RequestContext
@@ -75,6 +82,15 @@ class MsgDispatcherConfig:
     #: ReplyTo prefixes left unrewritten (co-located WS-MsgBox addresses;
     #: services reply to them directly, paper section 4.3.2)
     passthrough_reply_prefixes: tuple = ()
+    #: per-destination circuit breakers on the WsThread drain path;
+    #: None = no breakers (every attempt hits the network)
+    breaker: BreakerConfig | None = None
+    #: admission control: total queued messages (accept + destination
+    #: queues) above which handle() sheds with 503 Retry-After;
+    #: None = only the individual queue capacities bound intake
+    max_inflight: int | None = None
+    #: Retry-After seconds advertised when shedding
+    shed_retry_after: float = 1.0
 
 
 @dataclass
@@ -194,6 +210,20 @@ class MsgDispatcher:
             "msgd_destination_queue_depth",
             "messages waiting for a WsThread, by destination",
         )
+        self._m_shed = self.metrics.counter(
+            "dispatcher_shed_total",
+            "requests shed by admission control, by component",
+        )
+        self._m_drain_timeouts = self.metrics.counter(
+            "dispatcher_drain_timeouts_total",
+            "drain() calls that timed out with messages still queued",
+        )
+        #: per-destination circuit breakers (None unless config.breaker)
+        self.breakers: BreakerRegistry | None = None
+        if self.config.breaker is not None:
+            self.breakers = BreakerRegistry(
+                self.config.breaker, clock=self.clock, metrics=self.metrics
+            )
         self._correlations: dict[str, _Correlation] = {}
         self._destinations: dict[str, _Destination] = {}
         self._lock = threading.Lock()
@@ -206,6 +236,10 @@ class MsgDispatcher:
         for t in self._cx_threads:
             t.start()
         if self.hold_store is not None:
+            if getattr(self.hold_store, "_deliver", True) is None:
+                # a store constructed without a deliver function binds to
+                # this dispatcher's breaker-aware redelivery path
+                self.hold_store.bind_deliver(self.deliver_held)
             self._hold_pump = threading.Thread(
                 target=self._hold_pump_loop,
                 args=(hold_pump_interval,),
@@ -245,6 +279,19 @@ class MsgDispatcher:
         t_arrival: float,
     ) -> None:
         trace_id = trace.trace_id if trace else None
+        if self.config.max_inflight is not None:
+            if self._backlog() >= self.config.max_inflight:
+                self.counters.inc("shed_overload")
+                self._m_shed.labels(component="msgd").inc()
+                log_event(
+                    self._log, logging.WARNING, "shed",
+                    trace=trace_id, path=path,
+                    max_inflight=self.config.max_inflight,
+                )
+                raise OverloadedError(
+                    "dispatcher overloaded",
+                    retry_after=self.config.shed_retry_after,
+                )
         try:
             accepted = self._accept_queue.try_put(
                 (envelope, path, trace, t_arrival)
@@ -561,6 +608,11 @@ class MsgDispatcher:
             )
 
     def _deliver(self, item: _OutboundItem) -> None:
+        if self.breakers is not None and not self.breakers.allow(
+            self._endpoint_key(item.target_url)
+        ):
+            self._breaker_block(item)
+            return
         self._note_dequeued(item)
         item.attempts += 1
         t_send = self.clock.now()
@@ -572,8 +624,10 @@ class MsgDispatcher:
             if response.status >= 400:
                 raise TransportError(f"HTTP {response.status} from {item.target_url}")
         except (TransportError, ReproError):
+            self._record_outcome(item.target_url, False)
             self._handle_delivery_failure(item)
             return
+        self._record_outcome(item.target_url, True)
         self._finish_delivery(
             item, response, t_send, self.clock.now(),
             parent_span_id=item.parent_span_id,
@@ -590,6 +644,13 @@ class MsgDispatcher:
         distinct trace in the batch) parenting the per-item ``deliver``
         spans.
         """
+        if self.breakers is not None and not self.breakers.allow(
+            self._endpoint_key(batch[0].target_url)
+        ):
+            # the whole batch shares one destination; park it all
+            for item in batch:
+                self._breaker_block(item)
+            return
         for item in batch:
             self._note_dequeued(item)
             item.attempts += 1
@@ -603,6 +664,7 @@ class MsgDispatcher:
             lease = self.client.lease(batch[0].target_url)
         except (TransportError, ReproError):
             # no connection at all: every item takes its own failure path
+            self._record_outcome(batch[0].target_url, False)
             for item in batch:
                 self._handle_delivery_failure(item)
             return
@@ -624,7 +686,9 @@ class MsgDispatcher:
                     dest=batch[0].target_url, size=len(batch),
                 )
         for item, outcome in zip(batch, outcomes):
-            if isinstance(outcome, HttpResponse) and outcome.status < 400:
+            ok = isinstance(outcome, HttpResponse) and outcome.status < 400
+            self._record_outcome(item.target_url, ok)
+            if ok:
                 self._finish_delivery(
                     item, outcome, t_burst, t_done,
                     parent_span_id=(
@@ -634,6 +698,54 @@ class MsgDispatcher:
                 )
             else:
                 self._handle_delivery_failure(item)
+
+    def _record_outcome(self, target_url: str, ok: bool) -> None:
+        if self.breakers is not None:
+            self.breakers.record(self._endpoint_key(target_url), ok)
+
+    def _breaker_block(self, item: _OutboundItem) -> None:
+        """Deny without a network attempt: park in the hold store (so the
+        message survives the outage without burning retries) or drop."""
+        trace_id = item.trace.trace_id if item.trace else None
+        if self.hold_store is not None and item.message_id is not None:
+            self.hold_store.hold(
+                item.message_id, item.target_url, item.envelope_bytes
+            )
+            self.counters.inc("held_breaker_open")
+            log_event(
+                self._log, logging.INFO, "hold",
+                trace=trace_id, reason="breaker_open", dest=item.target_url,
+            )
+        else:
+            self.counters.inc("dropped_breaker_open")
+            self._m_dropped.labels(reason="breaker_open").inc()
+            log_event(
+                self._log, logging.WARNING, "drop",
+                trace=trace_id, reason="breaker_open", dest=item.target_url,
+            )
+
+    def deliver_held(self, msg) -> None:
+        """Transmission function for a :class:`HoldRetryStore` bound to
+        this dispatcher: breaker-aware single-shot redelivery.  Raising
+        keeps the message held (the store reschedules it)."""
+        key = self._endpoint_key(msg.target_url)
+        if self.breakers is not None and not self.breakers.allow(key):
+            raise BreakerOpenError(f"breaker open for {key}")
+        try:
+            response = self.client.request(
+                msg.target_url, _make_post(msg.envelope_bytes)
+            )
+            if response.status >= 400:
+                raise TransportError(
+                    f"HTTP {response.status} from {msg.target_url}"
+                )
+        except (TransportError, ReproError):
+            if self.breakers is not None:
+                self.breakers.record(key, False)
+            raise
+        if self.breakers is not None:
+            self.breakers.record(key, True)
+        self.counters.inc("held_redelivered")
 
     def _handle_delivery_failure(self, item: _OutboundItem) -> None:
         """One failed attempt: in-line retry, hold-store parking, or drop."""
@@ -755,6 +867,26 @@ class MsgDispatcher:
     def stats(self) -> dict[str, int]:
         return self.counters.as_dict()
 
+    def _backlog(self) -> int:
+        """Total messages queued anywhere in the dispatcher."""
+        with self._lock:
+            return len(self._accept_queue) + sum(
+                len(d.queue) for d in self._destinations.values()
+            )
+
+    def health_snapshot(self) -> dict:
+        """Breaker/overload state for the introspection surface."""
+        snapshot: dict = {
+            "backlog": self._backlog(),
+            "shed": self.counters.get("shed_overload"),
+            "drain_timeouts": self.counters.get("drain_timeouts"),
+        }
+        if self.breakers is not None:
+            snapshot["breakers"] = self.breakers.snapshot()
+        if self.hold_store is not None:
+            snapshot["hold_store"] = self.hold_store.stats
+        return snapshot
+
     def active_destinations(self) -> int:
         with self._lock:
             return sum(
@@ -769,17 +901,27 @@ class MsgDispatcher:
 
         deadline = time.monotonic() + timeout
         while time.monotonic() < deadline:
-            with self._lock:
-                backlog = len(self._accept_queue) + sum(
-                    len(d.queue) for d in self._destinations.values()
-                )
-            if backlog == 0:
+            if self._backlog() == 0:
                 delivered = self.counters.get("delivered")
                 time.sleep(0.02)
                 if self.counters.get("delivered") == delivered:
                     return True
             else:
                 time.sleep(0.01)
+        self.counters.inc("drain_timeouts")
+        self._m_drain_timeouts.inc()
+        with self._lock:
+            stuck = {
+                key: len(d.queue)
+                for key, d in self._destinations.items()
+                if len(d.queue)
+            }
+            accept_depth = len(self._accept_queue)
+        log_event(
+            self._log, logging.WARNING, "drain-timeout",
+            timeout=timeout, accept_queue=accept_depth,
+            stuck=";".join(f"{k}={n}" for k, n in sorted(stuck.items())) or "-",
+        )
         return False
 
 

@@ -25,7 +25,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.errors import RegistryError, UnknownServiceError
+from repro.errors import RegistryError, RegistryUnavailable, UnknownServiceError
 from repro.obs.logkv import component_logger, log_event
 from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.soap import Envelope, RpcResponse, build_rpc_response, parse_rpc_request
@@ -110,6 +110,10 @@ class ServiceRegistry:
         self._selector = selector or (lambda record: record.physical[0])
         self._lookups = 0
         self._misses = 0
+        #: fault injection: while False every lookup/resolve raises
+        #: RegistryUnavailable (a crashed or partitioned registry server)
+        self._available = True
+        self._unavailable_rejects = 0
         if self._db is not None:
             for logical, primary, attrs in self._db.items():
                 extra = attrs.pop("_alt", "")
@@ -201,6 +205,10 @@ class ServiceRegistry:
         resolvable immediately.
         """
         self._m_lookups.inc()
+        if not self._available:
+            with self._lock:
+                self._unavailable_rejects += 1
+            raise RegistryUnavailable("registry is unavailable")
         if self._cache_ttl > 0:
             entry = self._cache.get(logical)
             if entry is not None:
@@ -233,6 +241,20 @@ class ServiceRegistry:
         record = self.lookup(logical)
         with self._lock:
             return self._selector(record)
+
+    def set_available(self, available: bool) -> None:
+        """Fault injection switch: an unavailable registry refuses every
+        lookup/resolve with :class:`RegistryUnavailable` until restored."""
+        with self._lock:
+            self._available = available
+        log_event(
+            self._log, logging.WARNING,
+            "available" if available else "unavailable",
+        )
+
+    @property
+    def available(self) -> bool:
+        return self._available
 
     def list_services(self) -> list[ServiceRecord]:
         with self._lock:

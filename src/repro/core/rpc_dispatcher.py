@@ -72,12 +72,20 @@ class RpcDispatcher:
         clock: Clock | None = None,
         metrics: MetricsRegistry | None = None,
         traces: TraceStore | None = None,
+        max_inflight: int | None = None,
+        shed_retry_after: float = 1.0,
     ) -> None:
         self.registry = registry
         self.client = client
         self.mount_prefix = mount_prefix
         self.inspector = inspector
         self.max_body = max_body
+        #: admission control: concurrent forwards above this are shed
+        #: with 503 Retry-After (each forward blocks a server thread, so
+        #: this bounds the dispatcher's exposure to slow services)
+        self.max_inflight = max_inflight
+        self.shed_retry_after = shed_retry_after
+        self._inflight = 0
         #: optional BalancerPolicy receiving on_start/on_finish feedback
         self.balancer = balancer
         self.clock = clock or MonotonicClock()
@@ -98,10 +106,15 @@ class RpcDispatcher:
             "blocking dispatcher-to-service exchange time",
             bucket_width=0.001,
         )
+        self._m_shed = self.metrics.counter(
+            "dispatcher_shed_total",
+            "requests shed by admission control, by component",
+        )
         self._lock = threading.Lock()
         self.forwarded = 0
         self.failed = 0
         self.rejected = 0
+        self.shed = 0
 
     def _count(self, field: str) -> None:
         with self._lock:
@@ -121,6 +134,37 @@ class RpcDispatcher:
     ) -> HttpResponse:
         if request.method != "POST":
             return HttpResponse(status=405, body=b"RPC dispatcher accepts POST")
+        if self.max_inflight is not None:
+            with self._lock:
+                if self._inflight >= self.max_inflight:
+                    shed = True
+                else:
+                    shed = False
+                    self._inflight += 1
+            if shed:
+                self._count("shed")
+                self._m_shed.labels(component="rpcd").inc()
+                log_event(
+                    self._log, logging.WARNING, "shed",
+                    max_inflight=self.max_inflight,
+                )
+                response = soap_fault_response(
+                    Fault("Server", "dispatcher overloaded"), status=503
+                )
+                response.headers.set(
+                    "Retry-After", f"{self.shed_retry_after:g}"
+                )
+                return response
+            try:
+                return self._handle_admitted(request, peer)
+            finally:
+                with self._lock:
+                    self._inflight -= 1
+        return self._handle_admitted(request, peer)
+
+    def _handle_admitted(
+        self, request: HttpRequest, peer: str | None = None
+    ) -> HttpResponse:
         if len(request.body) > self.max_body:
             self._reject("body_too_large")
             return soap_fault_response(
@@ -223,4 +267,5 @@ class RpcDispatcher:
                 "forwarded": self.forwarded,
                 "failed": self.failed,
                 "rejected": self.rejected,
+                "shed": self.shed,
             }

@@ -31,6 +31,8 @@ from repro.obs.trace import (
     default_trace_store,
     extract_trace,
 )
+from repro.reliable.breaker import BreakerConfig, BreakerRegistry
+from repro.reliable.holdretry import HoldRetryStore
 from repro.rt.service import soap_fault_response
 from repro.simnet.httpsim import SimHttpClientPool
 from repro.simnet.kernel import Simulator
@@ -193,6 +195,15 @@ class SimMsgDispatcherConfig:
     #: ReplyTo prefixes left unrewritten (the dispatcher's own co-located
     #: WS-MsgBox — services reply to it directly, paper section 4.3.2)
     passthrough_reply_prefixes: tuple = ()
+    #: per-destination circuit breaking (None = no breakers, the
+    #: paper-faithful behaviour: every delivery attempt hits the wire)
+    breaker: BreakerConfig | None = None
+    #: total dispatcher backlog (accept + destination queues) above which
+    #: new messages are shed with 503 Retry-After (None = unbounded)
+    max_inflight: int | None = None
+    shed_retry_after: float = 1.0
+    #: how often the hold/retry pump re-examines parked messages
+    hold_pump_interval: float = 0.25
 
 
 @dataclass
@@ -215,6 +226,7 @@ class SimMsgDispatcher:
         config: SimMsgDispatcherConfig | None = None,
         metrics: MetricsRegistry | None = None,
         traces: TraceStore | None = None,
+        hold_store: HoldRetryStore | None = None,
     ) -> None:
         self.net = net
         self.sim: Simulator = net.sim
@@ -259,11 +271,25 @@ class SimMsgDispatcher:
             "msgd_destination_queue_depth",
             "messages waiting for a WsThread, by destination",
         )
+        self._m_shed = self.metrics.counter(
+            "dispatcher_shed_total",
+            "requests shed by admission control, by component",
+        )
         self._correlations: dict[str, _SimCorrelation] = {}
         self._waiters: dict[str, object] = {}  # sync-bridge events by URI
         self._destinations: dict[str, Store] = {}
         self._dest_workers: dict[str, int] = {}
         self._ws_slots = Resource(self.sim, capacity=self.config.ws_workers)
+        self.breakers: BreakerRegistry | None = None
+        if self.config.breaker is not None:
+            self.breakers = BreakerRegistry(
+                self.config.breaker, clock=self.sim.clock, metrics=self.metrics
+            )
+        #: failed deliveries are parked here instead of dropped; a pump
+        #: process re-queues them on the policy schedule.  Construct the
+        #: store with ``clock=net.sim.clock`` so TTLs follow sim time.
+        self.hold_store = hold_store
+        self._hold_pump_active = False
         self._running = True
         for i in range(self.config.cx_workers):
             self.sim.process(self._cx_loop(), name=f"sim-cx-{i}")
@@ -293,6 +319,18 @@ class SimMsgDispatcher:
         t_arrival = self.sim.now
         trace = extract_trace(envelope)
         trace_id = trace.trace_id if trace else None
+        if (
+            self.config.max_inflight is not None
+            and self.backlog() >= self.config.max_inflight
+        ):
+            self.counters.inc("shed_overload")
+            self._m_shed.labels(component="sim_msgd").inc()
+            log_event(
+                self._log, logging.WARNING, "shed",
+                trace=trace_id, backlog=self.backlog(),
+                max_inflight=self.config.max_inflight,
+            )
+            return self._shed_response()
         if self.config.shed_on_full:
             if not self._accept.try_put(
                 (envelope, request.target, trace, t_arrival)
@@ -303,7 +341,7 @@ class SimMsgDispatcher:
                     self._log, logging.WARNING, "drop",
                     trace=trace_id, reason="accept_queue_full",
                 )
-                return HttpResponse(status=503, body=b"dispatcher overloaded")
+                return self._shed_response()
         else:
             yield self._accept.put((envelope, request.target, trace, t_arrival))
         self.counters.inc("accepted")
@@ -319,6 +357,13 @@ class SimMsgDispatcher:
             trace=trace_id, path=request.target,
         )
         return HttpResponse(status=202)
+
+    def _shed_response(self) -> HttpResponse:
+        headers = Headers()
+        headers.set("Retry-After", f"{self.config.shed_retry_after:g}")
+        return HttpResponse(
+            status=503, headers=headers, body=b"dispatcher overloaded"
+        )
 
     # -- CxThread processes ---------------------------------------------------
     def _cx_loop(self):
@@ -582,6 +627,9 @@ class SimMsgDispatcher:
                     enqueued_at, t_send,
                     parent_id=parent_span_id, queue="destination", dest=dest,
                 )
+        if self.breakers is not None and not self.breakers.allow(dest):
+            self._breaker_block(dest, path, body, message_id, trace)
+            return
         try:
             response = yield from self.pool.exchange(
                 host, port, _soap_post(path, body)
@@ -590,6 +638,16 @@ class SimMsgDispatcher:
                 raise TransportError(f"HTTP {response.status}")
         except (TransportError, ReproError):
             self.counters.inc("delivery_failures")
+            if self.breakers is not None:
+                self.breakers.record(dest, ok=False)
+            if self._park_failed(dest, path, body, message_id):
+                self.counters.inc("held_for_retry")
+                log_event(
+                    self._log, logging.DEBUG, "hold",
+                    trace=trace.trace_id if trace else None,
+                    reason="delivery_failure", dest=dest,
+                )
+                return
             self._m_dropped.labels(reason="delivery_failure").inc()
             log_event(
                 self._log, logging.WARNING, "drop",
@@ -598,6 +656,10 @@ class SimMsgDispatcher:
             )
             return
         t_done = self.sim.now
+        if self.breakers is not None:
+            self.breakers.record(dest, ok=True)
+        if self.hold_store is not None and message_id is not None:
+            self.hold_store.complete(message_id)
         self.counters.inc("delivered")
         self._m_delivered.inc()
         self._m_transmit.observe(t_done - t_send)
@@ -625,6 +687,10 @@ class SimMsgDispatcher:
         """
         dest = f"{host}:{port}"
         t_burst = self.sim.now
+        if self.breakers is not None and not self.breakers.allow(dest):
+            for path, body, message_id, trace, *_rest in batch:
+                self._breaker_block(dest, path, body, message_id, trace)
+            return
         for path, body, message_id, trace, parent_sid, enqueued_at in batch:
             if enqueued_at is not None:
                 self._m_queue_wait.labels(queue="destination").observe(
@@ -654,8 +720,13 @@ class SimMsgDispatcher:
                     dest=dest, size=len(batch),
                 )
         for item, outcome in zip(batch, outcomes):
-            _path, _body, message_id, trace, parent_sid, _enq = item
-            if isinstance(outcome, HttpResponse) and outcome.status < 400:
+            path, body, message_id, trace, parent_sid, _enq = item
+            ok = isinstance(outcome, HttpResponse) and outcome.status < 400
+            if self.breakers is not None:
+                self.breakers.record(dest, ok)
+            if ok:
+                if self.hold_store is not None and message_id is not None:
+                    self.hold_store.complete(message_id)
                 self.counters.inc("delivered")
                 self._m_delivered.inc()
                 self._m_transmit.observe(t_done - t_burst)
@@ -675,12 +746,103 @@ class SimMsgDispatcher:
                 )
             else:
                 self.counters.inc("delivery_failures")
+                if self._park_failed(dest, path, body, message_id):
+                    self.counters.inc("held_for_retry")
+                    log_event(
+                        self._log, logging.DEBUG, "hold",
+                        trace=trace.trace_id if trace else None,
+                        reason="delivery_failure", dest=dest,
+                    )
+                    continue
                 self._m_dropped.labels(reason="delivery_failure").inc()
                 log_event(
                     self._log, logging.WARNING, "drop",
                     trace=trace.trace_id if trace else None,
                     reason="delivery_failure", dest=dest,
                 )
+
+    # -- hold/retry + breaker wiring ----------------------------------------
+    def _park_failed(
+        self, dest: str, path: str, body: bytes, message_id: str | None
+    ) -> bool:
+        """Park a failed delivery in the hold store; True when parked.
+
+        A message already held (a redelivery claimed by the pump) is
+        rescheduled — its attempt was counted at claim time; a fresh
+        message is held under its MessageID.  Messages without a
+        MessageID cannot be deduplicated on redelivery, so they are never
+        parked.
+        """
+        if self.hold_store is None or message_id is None:
+            return False
+        if self.hold_store.is_held(message_id):
+            self.hold_store.reschedule(message_id, now=self.sim.now)
+        else:
+            self.hold_store.hold(message_id, f"http://{dest}{path}", body)
+        self._ensure_hold_pump()
+        return True
+
+    def _breaker_block(
+        self,
+        dest: str,
+        path: str,
+        body: bytes,
+        message_id: str | None,
+        trace: TraceContext | None,
+    ) -> None:
+        """An open breaker refused the delivery: park instead of burning a
+        connect timeout against the dead destination."""
+        if self._park_failed(dest, path, body, message_id):
+            self.counters.inc("held_breaker_open")
+            log_event(
+                self._log, logging.DEBUG, "hold",
+                trace=trace.trace_id if trace else None,
+                reason="breaker_open", dest=dest,
+            )
+            return
+        self.counters.inc("dropped_breaker_open")
+        self._m_dropped.labels(reason="breaker_open").inc()
+        log_event(
+            self._log, logging.WARNING, "drop",
+            trace=trace.trace_id if trace else None,
+            reason="breaker_open", dest=dest,
+        )
+
+    def _ensure_hold_pump(self) -> None:
+        if self.hold_store is None or self._hold_pump_active:
+            return
+        self._hold_pump_active = True
+        self.sim.process(self._hold_pump_loop(), name="sim-hold-pump")
+
+    def _hold_pump_loop(self):
+        """Periodic redelivery pump; exits when the store drains (and is
+        respawned by the next park) so an idle simulation still runs dry."""
+        try:
+            while self._running:
+                yield self.sim.timeout(self.config.hold_pump_interval)
+                for msg in self.hold_store.take_due(now=self.sim.now):
+                    self._requeue_held(msg)
+                if self.hold_store.pending() == 0:
+                    return
+        finally:
+            self._hold_pump_active = False
+
+    def _requeue_held(self, msg) -> None:
+        """Feed one claimed held message back into a destination queue."""
+        try:
+            endpoint, path = parse_http_url(msg.target_url)
+        except ReproError:
+            self.hold_store.reschedule(msg.message_id, now=self.sim.now)
+            return
+        dest_key = f"{endpoint.host}:{endpoint.port}"
+        store = self._dest_store(dest_key)
+        if not store.try_put(
+            (path, msg.envelope_bytes, msg.message_id, None, None, self.sim.now)
+        ):
+            self.hold_store.reschedule(msg.message_id, now=self.sim.now)
+            return
+        self.counters.inc("held_requeued")
+        self._ensure_worker(dest_key, store)
 
     def _absorb_inband_response(
         self,
@@ -794,3 +956,16 @@ class SimMsgDispatcher:
 
     def backlog(self) -> int:
         return len(self._accept) + sum(len(s) for s in self._destinations.values())
+
+    def health_snapshot(self) -> dict:
+        """Overload/robustness view (for ``Introspection.add_health_source``)."""
+        snapshot: dict = {
+            "backlog": self.backlog(),
+            "shed": self.counters.as_dict().get("shed_overload", 0),
+        }
+        if self.breakers is not None:
+            snapshot["breakers"] = self.breakers.snapshot()
+        if self.hold_store is not None:
+            snapshot["hold_store"] = dict(self.hold_store.stats)
+            snapshot["hold_store"]["pending"] = self.hold_store.pending()
+        return snapshot

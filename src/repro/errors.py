@@ -144,3 +144,15 @@ class AuthError(ReproError):
 
 class DeliveryExpired(ReproError):
     """A held message exceeded its expiration before delivery succeeded."""
+
+
+class RegistryUnavailable(RegistryError):
+    """The registry is administratively down (fault injection / outage)."""
+
+
+class OverloadedError(ReproError):
+    """Admission control shed the request; retry after ``retry_after``."""
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after

@@ -16,7 +16,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.experiments import ablations, fig4, fig5, fig6, table1
+from repro.experiments import ablations, chaos, fig4, fig5, fig6, table1
 from repro.workload.results import render_ascii_plot
 
 
@@ -35,7 +35,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         choices=[
             "fig4", "fig5", "fig6", "table1",
-            "msgbox-bug", "pool-sizing", "batching", "reliability",
+            "msgbox-bug", "pool-sizing", "batching", "reliability", "chaos",
         ],
     )
     parser.add_argument(
@@ -93,6 +93,11 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(report.render())
         failures = []
+    elif name == "chaos":
+        messages = counts[0] if counts else 120
+        report = chaos.run(messages=messages)
+        print(report.render())
+        failures = chaos.check_shape(report)
     else:  # reliability
         report = ablations.reliability()
         print(report.render())

@@ -65,6 +65,29 @@ class Introspection:
         self.title = title
         self._lock = threading.Lock()
         self._sources: dict[str, Callable[[], dict]] = {}
+        self._health_sources: dict[str, Callable[[], dict]] = {}
+
+    # -- breaker / overload health ----------------------------------------
+    def add_health_source(self, name: str, fetch: Callable[[], dict]) -> None:
+        """Register a health feed (e.g. a dispatcher's
+        ``health_snapshot`` bound method): breaker states, shed counts,
+        hold-store stats.  Rendered as a ``health`` section of the JSON
+        snapshot and a ``GET /health`` endpoint."""
+        with self._lock:
+            if name in self._health_sources:
+                raise ValueError(f"health source {name!r} already registered")
+            self._health_sources[name] = fetch
+
+    def health_snapshot(self) -> dict[str, dict]:
+        with self._lock:
+            sources = list(self._health_sources.items())
+        out: dict[str, dict] = {}
+        for name, fetch in sources:
+            try:
+                out[name] = dict(fetch())
+            except Exception as exc:  # noqa: BLE001 - a broken source is data
+                out[name] = {"error": repr(exc)}
+        return out
 
     # -- legacy component sources (StatusPage semantics) ------------------
     def add_source(
@@ -115,12 +138,16 @@ class Introspection:
     # -- views ------------------------------------------------------------
     def json_snapshot(self) -> dict:
         trace_ids = self.traces.ids()
-        return {
+        snapshot = {
             "title": self.title,
             "metrics": self.metrics.snapshot(),
             "components": self.components_snapshot(),
             "traces": {"count": len(trace_ids), "ids": trace_ids[-20:]},
         }
+        health = self.health_snapshot()
+        if health:
+            snapshot["health"] = health
+        return snapshot
 
     def render_prometheus(self) -> str:
         """Registry exposition plus component stats as synthetic gauges."""
@@ -169,12 +196,17 @@ class Introspection:
             return _text_response(self.traces.render_timeline(trace_id))
         return _json_response(self.traces.to_json(trace_id))
 
+    def health_handler(self, request: HttpRequest) -> HttpResponse:
+        return _json_response(self.health_snapshot())
+
     def mount(
         self,
         app,
         metrics_path: str = "/metrics",
         trace_path: str = "/trace",
+        health_path: str = "/health",
     ) -> None:
-        """Mount both endpoints on a :class:`~repro.rt.service.SoapHttpApp`."""
+        """Mount the endpoints on a :class:`~repro.rt.service.SoapHttpApp`."""
         app.mount_page(metrics_path, self.metrics_handler)
         app.mount_page(trace_path, self.trace_handler)
+        app.mount_page(health_path, self.health_handler)

@@ -13,6 +13,13 @@ suppression on the receiving side.
 
 from repro.reliable.policy import RetryPolicy, ExponentialBackoff, FixedDelay
 from repro.reliable.holdretry import HeldMessage, HoldRetryStore, DuplicateFilter
+from repro.reliable.breaker import (
+    BreakerConfig,
+    BreakerOpenError,
+    BreakerRegistry,
+    BreakerState,
+    CircuitBreaker,
+)
 
 __all__ = [
     "RetryPolicy",
@@ -21,4 +28,9 @@ __all__ = [
     "HeldMessage",
     "HoldRetryStore",
     "DuplicateFilter",
+    "BreakerConfig",
+    "BreakerOpenError",
+    "BreakerRegistry",
+    "BreakerState",
+    "CircuitBreaker",
 ]

@@ -50,18 +50,27 @@ class HoldRetryStore:
 
     def __init__(
         self,
-        deliver: Callable[[HeldMessage], None],
+        deliver: Callable[[HeldMessage], None] | None = None,
         policy: RetryPolicy | None = None,
         default_ttl: float = 300.0,
         clock: Clock | None = None,
     ) -> None:
         self._deliver = deliver
-        self.policy = policy or ExponentialBackoff()
+        self.policy = policy or ExponentialBackoff(jitter=True)
         self.default_ttl = default_ttl
         self.clock = clock or MonotonicClock()
         self._held: dict[str, HeldMessage] = {}
+        #: MessageIDs claimed by take_due() and not yet resolved — the
+        #: expiry scan must not touch these, or a message whose redelivery
+        #: is in flight could be counted both delivered and expired.
+        self._inflight: set[str] = set()
         self._lock = threading.Lock()
         self._stats = _StoreStats()
+
+    def bind_deliver(self, deliver: Callable[[HeldMessage], None]) -> None:
+        """Late-bind the transmission function (for dispatcher wiring
+        where the dispatcher itself is the deliverer)."""
+        self._deliver = deliver
 
     # -- intake ----------------------------------------------------------
     def hold(
@@ -88,47 +97,98 @@ class HoldRetryStore:
             self._stats.held += 1
             return msg
 
-    # -- pump ---------------------------------------------------------------
-    def pump(self) -> dict[str, int]:
-        """Attempt every due message once; returns a summary.
+    # -- claim API ----------------------------------------------------------
+    # The split-phase protocol external drivers (dispatchers, simulation
+    # pump processes) use: take_due() claims messages, then each claim is
+    # resolved with exactly one of complete() / reschedule().  Claimed
+    # messages are invisible to the expiry scan, so a message can never be
+    # counted both delivered and expired even when a redelivery races its
+    # TTL.
+    def take_due(self, now: float | None = None) -> list[HeldMessage]:
+        """Claim every due, unclaimed message for delivery.
 
-        Call periodically (a dispatcher maintenance thread, a simulation
-        process, or a test loop).  Expired messages are dropped and counted;
-        exhausted-retry messages expire immediately.
+        Expired (and retry-exhausted) unclaimed messages are dropped and
+        counted here.  Each returned message has had its attempt counted;
+        resolve it with :meth:`complete` or :meth:`reschedule`.
         """
-        now = self.clock.now()
+        if now is None:
+            now = self.clock.now()
         due: list[HeldMessage] = []
         with self._lock:
             for mid in list(self._held):
+                if mid in self._inflight:
+                    continue
                 msg = self._held[mid]
                 if msg.expires_at <= now:
                     del self._held[mid]
                     self._stats.expired += 1
                     continue
                 if msg.next_attempt_at <= now:
+                    msg.attempts += 1
+                    self._stats.attempts += 1
+                    self._inflight.add(mid)
                     due.append(msg)
+        return due
+
+    def complete(self, message_id: str) -> bool:
+        """Resolve a claim as delivered.  Idempotent; returns False when
+        the message is not held (already completed, expired, or never
+        taken)."""
+        with self._lock:
+            self._inflight.discard(message_id)
+            if self._held.pop(message_id, None) is None:
+                return False
+            self._stats.delivered += 1
+            return True
+
+    def reschedule(self, message_id: str, now: float | None = None) -> bool:
+        """Resolve a claim as failed: re-queue per policy, or expire when
+        the retry budget or TTL is exhausted.  Returns True when the
+        message remains held for another attempt."""
+        if now is None:
+            now = self.clock.now()
+        with self._lock:
+            self._inflight.discard(message_id)
+            msg = self._held.get(message_id)
+            if msg is None:
+                return False
+            if msg.expires_at <= now or not self.policy.should_retry(msg.attempts):
+                del self._held[message_id]
+                self._stats.expired += 1
+                return False
+            msg.next_attempt_at = now + self.policy.delay_before(msg.attempts + 1)
+            return True
+
+    def is_held(self, message_id: str) -> bool:
+        with self._lock:
+            return message_id in self._held
+
+    # -- pump ---------------------------------------------------------------
+    def pump(self) -> dict[str, int]:
+        """Attempt every due message once; returns a summary.
+
+        Call periodically (a dispatcher maintenance thread, a simulation
+        process, or a test loop).  Expired messages are dropped and counted;
+        exhausted-retry messages expire immediately.  Requires a bound
+        ``deliver`` function; drivers that transmit themselves should use
+        :meth:`take_due` / :meth:`complete` / :meth:`reschedule` directly.
+        """
+        now = self.clock.now()
+        due = self.take_due(now)
+        if self._deliver is None:
+            for msg in due:
+                self.reschedule(msg.message_id, now)
+            return {"due": len(due), "delivered": 0, "failed": len(due)}
         delivered = failed = 0
         for msg in due:
-            msg.attempts += 1
-            with self._lock:
-                self._stats.attempts += 1
             try:
                 self._deliver(msg)
             except Exception:  # noqa: BLE001 - any failure means retry
                 failed += 1
-                if not self.policy.should_retry(msg.attempts):
-                    with self._lock:
-                        if self._held.pop(msg.message_id, None) is not None:
-                            self._stats.expired += 1
-                    continue
-                msg.next_attempt_at = now + self.policy.delay_before(
-                    msg.attempts + 1
-                )
+                self.reschedule(msg.message_id, now)
                 continue
             delivered += 1
-            with self._lock:
-                self._held.pop(msg.message_id, None)
-                self._stats.delivered += 1
+            self.complete(msg.message_id)
         return {"due": len(due), "delivered": delivered, "failed": failed}
 
     def run_until_empty(self, timeout: float) -> None:

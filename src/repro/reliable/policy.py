@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import random
+import threading
 from dataclasses import dataclass
 
 
@@ -41,18 +43,32 @@ class FixedDelay(RetryPolicy):
 
 @dataclass
 class ExponentialBackoff(RetryPolicy):
-    """Exponential backoff: base * factor**(attempt-2), capped."""
+    """Exponential backoff: base * factor**(attempt-2), capped.
+
+    With ``jitter=True`` the schedule becomes *decorrelated jitter*
+    (``delay = uniform(base, prev_delay * factor)``, capped), so a burst
+    of messages that failed together does not retry in lock-step and
+    hammer the recovering destination as one synchronized storm.  Jitter
+    defaults off: the deterministic schedule is what the simulation (and
+    the existing tests) rely on.  Pass ``seed`` for a reproducible
+    jittered sequence.
+    """
 
     max_attempts: int = 5
     base: float = 0.05
     factor: float = 2.0
     max_delay: float = 5.0
+    jitter: bool = False
+    seed: int | None = None
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         if self.base < 0 or self.factor < 1.0 or self.max_delay < 0:
             raise ValueError("invalid backoff parameters")
+        self._rng = random.Random(self.seed)
+        self._prev_delay = 0.0
+        self._jitter_lock = threading.Lock()
 
     def should_retry(self, attempts: int) -> bool:
         return attempts < self.max_attempts
@@ -60,4 +76,11 @@ class ExponentialBackoff(RetryPolicy):
     def delay_before(self, attempt: int) -> float:
         if attempt <= 1:
             return 0.0
-        return min(self.base * self.factor ** (attempt - 2), self.max_delay)
+        if not self.jitter:
+            return min(self.base * self.factor ** (attempt - 2), self.max_delay)
+        with self._jitter_lock:
+            prev = self._prev_delay if self._prev_delay > 0 else self.base
+            hi = max(self.base, min(prev * self.factor, self.max_delay))
+            delay = self._rng.uniform(self.base, hi)
+            self._prev_delay = delay
+            return delay

@@ -14,7 +14,7 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
-from repro.errors import ReproError, SoapError, XmlError
+from repro.errors import OverloadedError, ReproError, SoapError, XmlError
 from repro.http import Headers, HttpRequest, HttpResponse
 from repro.soap import Envelope, Fault
 from repro.soap.constants import SoapVersion
@@ -149,6 +149,15 @@ class SoapHttpApp:
         ctx = RequestContext(path=path, http_request=request, peer=peer)
         try:
             reply = service.handle(envelope, ctx)
+        except OverloadedError as exc:
+            # Admission control shed the request: the client should back
+            # off and retry, so the fault rides a 503 with Retry-After
+            # rather than a hard 500.
+            response = soap_fault_response(
+                Fault("Server", str(exc)), status=503, version=envelope.version
+            )
+            response.headers.set("Retry-After", f"{exc.retry_after:g}")
+            return response
         except ReproError as exc:
             return soap_fault_response(
                 Fault("Server", str(exc)), status=500, version=envelope.version

@@ -67,11 +67,32 @@ class SimHttpServer:
         self.requests_served = 0
         self.connections_accepted = 0
         self._running = True
+        self.paused = False
         self.sim.process(self._accept_loop(), name=f"http-accept-{host.name}:{port}")
 
     def stop(self) -> None:
         self._running = False
         self.listener.close()
+
+    # -- fault injection: service-level stop/start -------------------------
+    def pause(self) -> None:
+        """Stop the service while the host stays up: the listener closes,
+        so new connects get ConnectionRefused (not a silent timeout)."""
+        if self.paused:
+            return
+        self.paused = True
+        self.listener.close()
+
+    def resume(self) -> None:
+        """Reopen the listener and resume accepting connections."""
+        if not self.paused:
+            return
+        self.paused = False
+        self.listener = listen(self.sim, self.host, self.port, self.params)
+        self.sim.process(
+            self._accept_loop(),
+            name=f"http-accept-{self.host.name}:{self.port}",
+        )
 
     # -- processes ----------------------------------------------------------
     def _accept_loop(self):
@@ -88,7 +109,7 @@ class SimHttpServer:
     def _serve(self, conn: SimTcpConnection):
         parser = RequestParser()
         try:
-            while self._running:
+            while self._running and not self.paused:
                 request = None
                 while request is None:
                     request = parser.next_message()
@@ -232,7 +253,11 @@ class SimHttpClientPool:
         pool = self._idle.get(key)
         while pool:
             candidate = pool.pop()
-            if not candidate.closed and candidate.peer and not candidate.peer.closed:
+            if (
+                not candidate.broken
+                and candidate.peer
+                and not candidate.peer.closed
+            ):
                 return candidate
         return None
 

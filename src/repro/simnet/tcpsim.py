@@ -89,6 +89,27 @@ class SimTcpConnection:
         self.closed = False
         self._counts_on_local = counts_on_local
         self.bytes_sent = 0
+        # A reboot loses TCP state: connections pin the host epochs they
+        # were established under and are dead once either host crashes,
+        # even after it recovers.
+        self._local_epoch = local.epoch
+        self._remote_epoch = remote.epoch
+
+    def _stale(self) -> bool:
+        return (
+            self.local.epoch != self._local_epoch
+            or self.remote.epoch != self._remote_epoch
+        )
+
+    @property
+    def broken(self) -> bool:
+        """Connection unusable: closed, or a host crashed since setup."""
+        return (
+            self.closed
+            or self._stale()
+            or self.local.failed
+            or self.remote.failed
+        )
 
     # -- data path -----------------------------------------------------------
     def send(self, data: bytes):
@@ -101,7 +122,7 @@ class SimTcpConnection:
         """
         if self.closed or self.peer is None:
             raise ConnectionClosed("send on closed connection")
-        if self.local.failed or self.remote.failed:
+        if self.local.failed or self.remote.failed or self._stale():
             raise ConnectionClosed(
                 f"connection {self.local.name}->{self.remote.name} broken "
                 "(host down)"
@@ -110,7 +131,7 @@ class SimTcpConnection:
         yield self.net.transfer(self.local, self.remote, size)
         if self.closed or self.peer is None or self.peer.closed:
             raise ConnectionClosed("peer closed during send")
-        if self.remote.failed:
+        if self.remote.failed or self._stale():
             raise ConnectionClosed(f"{self.remote.name} went down during send")
         self.bytes_sent += len(data)
         self.peer.inbox.put(data)
@@ -121,6 +142,14 @@ class SimTcpConnection:
         Usage: ``data = yield from conn.recv(timeout)``.  Raises
         ConnectionTimeout when ``timeout`` elapses first.
         """
+        if self._stale() and not self.remote.failed:
+            # The peer rebooted: its fresh stack knows nothing of this
+            # connection and RSTs our next segment.  While it is still
+            # down there is no RST — the reader just waits out its
+            # timeout, exactly like the real silent-crash case.
+            raise ConnectionClosed(
+                f"{self.remote.name} restarted; connection lost"
+            )
         get = self.inbox.get()
         if timeout is None:
             item = yield get

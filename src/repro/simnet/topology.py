@@ -95,6 +95,16 @@ class BuiltLink:
     latency: float
     loss: float = 0.0
     dropped_transfers: int = 0
+    #: fault injection: the link carries nothing until this sim-time —
+    #: transfers stall (TCP keeps retrying) and complete after recovery,
+    #: or the caller's own deadline (connect/read timeout) fires first
+    down_until: float = 0.0
+    #: fault injection: extra one-way delay added to every transfer
+    extra_latency: float = 0.0
+    #: fault injection: uniform random extra delay in [0, jitter) per
+    #: transfer, drawn from the network's seeded RNG
+    jitter: float = 0.0
+    stalled_transfers: int = 0
 
 
 class Host:
@@ -127,13 +137,18 @@ class Host:
         #: True while the machine is down (crash injection): inbound SYNs
         #: are dropped, established connections break on next use
         self.failed = False
+        #: bumped on every crash — connections pinned to an older epoch
+        #: are dead even after the host recovers (a reboot loses TCP state)
+        self.epoch = 0
 
     def fail(self) -> None:
         """Crash the host: no RSTs, no FINs — it just goes dark."""
         self.failed = True
+        self.epoch += 1
 
     def recover(self) -> None:
-        """Bring the host back (listeners and state survive the restart)."""
+        """Bring the host back (listeners and state survive the restart,
+        established connections do not — the crash lost their TCP state)."""
         self.failed = False
 
     # -- connection accounting ---------------------------------------------
@@ -220,7 +235,25 @@ class Network:
         if src is dst:
             return sim.timeout(0.0001, value=nbytes)
 
+        def _links_up():
+            # Fault injection: a downed link carries nothing.  TCP keeps
+            # retransmitting, so the transfer waits out the outage rather
+            # than failing — the caller's own connect/read deadline is
+            # what turns a long outage into an error.
+            stalled = False
+            while True:
+                until = max(src.link.down_until, dst.link.down_until)
+                if until <= sim.now:
+                    return
+                if not stalled:
+                    stalled = True
+                    for link in (src.link, dst.link):
+                        if link.down_until > sim.now:
+                            link.stalled_transfers += 1
+                yield sim.timeout(until - sim.now)
+
         def _run():
+            yield from _links_up()
             yield src.link.up.transmit(nbytes)
             # Loss on either access link: TCP retransmits after an RTO, so
             # the transfer still completes — just late (and the resend
@@ -230,8 +263,14 @@ class Network:
                 lossy = src.link if src.link.loss >= dst.link.loss else dst.link
                 lossy.dropped_transfers += 1
                 yield sim.timeout(self.rto)
+                yield from _links_up()
                 yield src.link.up.transmit(nbytes)
-            yield sim.timeout(self.propagation(src, dst))
+            delay = self.propagation(src, dst)
+            delay += src.link.extra_latency + dst.link.extra_latency
+            spread = src.link.jitter + dst.link.jitter
+            if spread > 0.0:
+                delay += self._loss_rng.random() * spread
+            yield sim.timeout(delay)
             yield dst.link.down.transmit(nbytes)
             done.succeed(nbytes)
 

@@ -1,0 +1,139 @@
+"""FaultyHttpClient: the real-mode FaultPlan shim, on a ManualClock."""
+
+import pytest
+
+from repro.chaos import FaultPlan, FaultyHttpClient
+from repro.chaos.plan import (
+    AddedLatency,
+    LinkDown,
+    PacketLoss,
+    ServiceCrash,
+    ServiceStop,
+)
+from repro.errors import ConnectionRefused, ConnectionTimeout, TransportError
+from repro.http import HttpRequest, HttpResponse
+from repro.obs.metrics import MetricsRegistry
+from repro.util.clock import ManualClock
+
+
+class RecordingClient:
+    """Inner client: records calls, always answers 200."""
+
+    def __init__(self):
+        self.calls = []
+        self.closed = False
+
+    def request(self, url, request):
+        self.calls.append(url)
+        return HttpResponse(status=200)
+
+    def prepare(self, url, request):
+        return request
+
+    def close(self):
+        self.closed = True
+
+
+def make(plan, clock=None, metrics=None):
+    inner = RecordingClient()
+    shim = FaultyHttpClient(
+        inner, plan, clock=clock or ManualClock(), metrics=metrics
+    )
+    return inner, shim
+
+
+REQ = HttpRequest("POST", "/x")
+
+
+def test_no_faults_delegates(monkeypatch):
+    inner, shim = make(FaultPlan())
+    assert shim.request("http://svc:80/x", REQ).status == 200
+    assert inner.calls == ["http://svc:80/x"]
+    assert shim.injected == 0
+
+
+def test_crash_window_times_out_then_recovers():
+    clock = ManualClock()
+    _, shim = make(
+        FaultPlan((ServiceCrash("svc", at=1.0, restart_after=2.0),)),
+        clock=clock,
+    )
+    assert shim.request("http://svc:80/x", REQ).status == 200
+    clock.advance(1.5)
+    with pytest.raises(ConnectionTimeout):
+        shim.request("http://svc:80/x", REQ)
+    clock.advance(2.0)
+    assert shim.request("http://svc:80/x", REQ).status == 200
+    assert shim.injected == 1
+
+
+def test_link_down_and_service_stop_distinguished():
+    clock = ManualClock()
+    _, shim = make(
+        FaultPlan((
+            LinkDown("down", at=0.0, duration=10.0),
+            ServiceStop("stopped", port=80, at=0.0, duration=10.0),
+        )),
+        clock=clock,
+    )
+    with pytest.raises(ConnectionTimeout):
+        shim.request("http://down:80/x", REQ)
+    with pytest.raises(ConnectionRefused):
+        shim.request("http://stopped:80/x", REQ)
+    # another port on the stopped host is unaffected
+    assert shim.request("http://stopped:81/x", REQ).status == 200
+
+
+def test_packet_loss_is_seeded_and_deterministic():
+    plan = FaultPlan(
+        (PacketLoss("svc", at=0.0, duration=100.0, rate=0.5),), seed=42
+    )
+
+    def outcomes():
+        _, shim = make(plan, clock=ManualClock())
+        out = []
+        for _ in range(40):
+            try:
+                shim.request("http://svc:80/x", REQ)
+                out.append("ok")
+            except TransportError:
+                out.append("lost")
+        return out
+
+    first, second = outcomes(), outcomes()
+    assert first == second
+    assert "lost" in first and "ok" in first
+
+
+def test_added_latency_sleeps_on_the_clock():
+    clock = ManualClock()
+    _, shim = make(
+        FaultPlan((AddedLatency("svc", at=0.0, duration=100.0, extra=0.75),)),
+        clock=clock,
+    )
+    t0 = clock.now()
+    assert shim.request("http://svc:80/x", REQ).status == 200
+    assert clock.now() - t0 == pytest.approx(0.75)
+
+
+def test_injections_counted_in_metrics():
+    metrics = MetricsRegistry()
+    clock = ManualClock()
+    _, shim = make(
+        FaultPlan((ServiceCrash("svc", at=0.0),)), clock=clock, metrics=metrics
+    )
+    for _ in range(3):
+        with pytest.raises(ConnectionTimeout):
+            shim.request("http://svc:80/x", REQ)
+    assert shim.injected == 3
+    assert (
+        'chaos_faults_injected_total{kind="ServiceCrash"} 3'
+        in metrics.render_prometheus()
+    )
+
+
+def test_close_and_context_manager():
+    inner, shim = make(FaultPlan())
+    with shim as s:
+        assert s is shim
+    assert inner.closed

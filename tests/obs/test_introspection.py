@@ -140,7 +140,7 @@ class TestTraceEndpoint:
 
 
 class TestMount:
-    def test_mounts_both_pages(self):
+    def test_mounts_all_pages(self):
         mounted = {}
 
         class FakeApp:
@@ -149,4 +149,4 @@ class TestMount:
 
         intro = make_introspection()
         intro.mount(FakeApp())
-        assert set(mounted) == {"/metrics", "/trace"}
+        assert set(mounted) == {"/metrics", "/trace", "/health"}

@@ -1,0 +1,128 @@
+"""The split-phase claim API: expiry must never race a redelivery.
+
+A message claimed by ``take_due`` is invisible to the expiry scan until
+its driver resolves it with ``complete`` or ``reschedule`` — so a message
+whose redelivery is in flight when its TTL lapses is counted exactly once
+(delivered *or* expired, never both).
+"""
+
+import threading
+
+from repro.reliable import FixedDelay, HoldRetryStore
+from repro.util.clock import ManualClock
+
+
+def make_store(ttl=10.0, delay=1.0, max_attempts=100):
+    clock = ManualClock()
+    store = HoldRetryStore(
+        policy=FixedDelay(max_attempts=max_attempts, delay=delay),
+        default_ttl=ttl,
+        clock=clock,
+    )
+    return store, clock
+
+
+def test_claimed_message_is_invisible_to_expiry_scan():
+    store, clock = make_store(ttl=10.0)
+    store.hold("m1", "http://a:80/", b"x")
+    (claimed,) = store.take_due(now=clock.now())
+    assert claimed.message_id == "m1"
+    clock.advance(20.0)  # TTL lapses while the redelivery is in flight
+    assert store.take_due(now=clock.now()) == []
+    assert store.stats["expired"] == 0
+    # the in-flight delivery lands: delivered once, expired never
+    assert store.complete("m1") is True
+    assert store.stats == {
+        "held": 1, "delivered": 1, "expired": 0, "attempts": 1
+    }
+    assert store.pending() == 0
+
+
+def test_reschedule_after_ttl_expires_exactly_once():
+    store, clock = make_store(ttl=10.0)
+    store.hold("m1", "http://a:80/", b"x")
+    store.take_due(now=clock.now())
+    clock.advance(20.0)
+    assert store.reschedule("m1", now=clock.now()) is False
+    assert store.stats["expired"] == 1
+    # late duplicate resolutions are no-ops, not double counts
+    assert store.complete("m1") is False
+    assert store.reschedule("m1", now=clock.now()) is False
+    assert store.stats == {
+        "held": 1, "delivered": 0, "expired": 1, "attempts": 1
+    }
+
+
+def test_unclaimed_message_expires_in_take_due():
+    store, clock = make_store(ttl=5.0)
+    store.hold("m1", "http://a:80/", b"x")
+    clock.advance(6.0)
+    assert store.take_due(now=clock.now()) == []
+    assert store.stats["expired"] == 1
+    assert store.pending() == 0
+
+
+def test_claim_blocks_concurrent_take_due():
+    store, clock = make_store(ttl=100.0, delay=0.0)
+    store.hold("m1", "http://a:80/", b"x")
+    assert len(store.take_due(now=clock.now())) == 1
+    # a second pump tick before resolution must not re-claim it
+    assert store.take_due(now=clock.now()) == []
+    store.reschedule("m1", now=clock.now())
+    assert len(store.take_due(now=clock.now())) == 1
+
+
+def test_retry_budget_exhaustion_expires_via_reschedule():
+    store, clock = make_store(ttl=1000.0, delay=1.0, max_attempts=3)
+    store.hold("m1", "http://a:80/", b"x")
+    for _ in range(3):
+        (msg,) = store.take_due(now=clock.now())
+        store.reschedule(msg.message_id, now=clock.now())
+        clock.advance(1.0)
+    assert store.pending() == 0
+    assert store.stats["expired"] == 1
+    assert store.stats["attempts"] == 3
+
+
+def test_threaded_stress_never_double_counts():
+    """Many messages, every TTL lapsing mid-flight, two racing resolvers."""
+    store, clock = make_store(ttl=10.0)
+    n = 200
+    for i in range(n):
+        store.hold(f"m{i}", "http://a:80/", b"x")
+    claimed = store.take_due(now=clock.now())
+    assert len(claimed) == n
+    clock.advance(20.0)  # every message is now past TTL
+
+    barrier = threading.Barrier(3)
+
+    def complete_half():
+        barrier.wait()
+        for msg in claimed[::2]:
+            store.complete(msg.message_id)
+
+    def reschedule_half():
+        barrier.wait()
+        for msg in claimed[1::2]:
+            store.reschedule(msg.message_id, now=clock.now())
+
+    def expiry_scanner():
+        barrier.wait()
+        for _ in range(50):
+            store.take_due(now=clock.now())
+
+    threads = [
+        threading.Thread(target=complete_half),
+        threading.Thread(target=reschedule_half),
+        threading.Thread(target=expiry_scanner),
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    stats = store.stats
+    assert stats["delivered"] == n // 2
+    assert stats["expired"] == n // 2
+    assert stats["delivered"] + stats["expired"] == stats["held"]
+    assert store.pending() == 0

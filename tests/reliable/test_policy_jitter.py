@@ -1,0 +1,41 @@
+"""Decorrelated jitter on ExponentialBackoff (default remains off)."""
+
+from repro.reliable import ExponentialBackoff
+
+
+def test_default_schedule_is_deterministic_and_unchanged():
+    policy = ExponentialBackoff(max_attempts=5, base=0.05, factor=2.0,
+                                max_delay=5.0)
+    assert [policy.delay_before(n) for n in range(1, 6)] == [
+        0.0, 0.05, 0.1, 0.2, 0.4
+    ]
+    # repeated queries for the same attempt are stable without jitter
+    assert policy.delay_before(3) == 0.1
+
+
+def test_jittered_delays_stay_within_bounds():
+    policy = ExponentialBackoff(max_attempts=50, base=0.05, factor=2.0,
+                                max_delay=1.0, jitter=True, seed=7)
+    assert policy.delay_before(1) == 0.0
+    for attempt in range(2, 50):
+        delay = policy.delay_before(attempt)
+        assert 0.05 <= delay <= 1.0
+
+
+def test_seeded_jitter_is_reproducible():
+    def schedule(seed):
+        policy = ExponentialBackoff(max_attempts=20, jitter=True, seed=seed)
+        return [policy.delay_before(n) for n in range(2, 20)]
+
+    assert schedule(42) == schedule(42)
+    assert schedule(42) != schedule(43)
+
+
+def test_jitter_decorrelates_identical_policies():
+    # two unseeded policies (distinct RNG states are allowed to collide on
+    # a value, but not across a whole schedule)
+    a = ExponentialBackoff(max_attempts=20, jitter=True, seed=1)
+    b = ExponentialBackoff(max_attempts=20, jitter=True, seed=2)
+    sched_a = [a.delay_before(n) for n in range(2, 20)]
+    sched_b = [b.delay_before(n) for n in range(2, 20)]
+    assert sched_a != sched_b

@@ -1,0 +1,125 @@
+"""Firewall drop accounting stays exact under concurrent flows."""
+
+import pytest
+
+from repro.errors import ConnectionTimeout
+from repro.simnet.firewall import FirewallPolicy
+from repro.simnet.tcpsim import TcpParams, connect, listen
+from repro.simnet.topology import AccessLink, Network
+
+
+@pytest.fixture
+def world(sim):
+    net = Network(sim)
+    clients = [
+        net.add_host(f"c{i}", AccessLink(2000, 2000, 0.010)) for i in range(6)
+    ]
+    server = net.add_host("server", AccessLink(2000, 2000, 0.010))
+    return net, clients, server
+
+
+def test_concurrent_blocked_connects_each_counted_once(world):
+    net, clients, server = world
+    sim = net.sim
+    server.firewall = FirewallPolicy.outbound_only()
+    listen(sim, server, 80)
+    outcomes = []
+
+    def attempt(client):
+        try:
+            yield from connect(
+                net, client, "server", 80, TcpParams(connect_timeout=2.0)
+            )
+            outcomes.append("connected")
+        except ConnectionTimeout:
+            outcomes.append("timeout")
+
+    for client in clients:
+        sim.process(attempt(client))
+    sim.run()
+    assert outcomes == ["timeout"] * len(clients)
+    assert server.firewall.dropped == len(clients)
+
+
+def test_concurrent_allowed_flows_do_not_count_as_drops(world):
+    net, clients, server = world
+    sim = net.sim
+    server.firewall = FirewallPolicy.outbound_only(open_ports=(80,))
+    listener = listen(sim, server, 80)
+    served = []
+
+    def server_loop():
+        while True:
+            conn = yield listener.accept()
+            sim.process(echo(conn))
+
+    def echo(conn):
+        data = yield from conn.recv()
+        served.append(data)
+        yield from conn.send(data)
+        conn.close()
+
+    def attempt(client, i):
+        conn = yield from connect(net, client, "server", 80)
+        yield from conn.send(b"m%d" % i)
+        yield from conn.recv(timeout=5)
+        conn.close()
+
+    sim.process(server_loop())
+    for i, client in enumerate(clients):
+        sim.process(attempt(client, i))
+    sim.run(until=30.0)
+    assert sorted(served) == [b"m%d" % i for i in range(len(clients))]
+    assert server.firewall.dropped == 0
+
+
+def test_mixed_traffic_counts_only_the_blocked_port(world):
+    net, clients, server = world
+    sim = net.sim
+    server.firewall = FirewallPolicy.outbound_only(
+        open_ports=(80,), allowed_sources=("c0",)
+    )
+    listen(sim, server, 80)
+    listen(sim, server, 81)
+    outcomes = {"ok": 0, "blocked": 0}
+
+    def attempt(client, port):
+        try:
+            yield from connect(
+                net, client, "server", port, TcpParams(connect_timeout=2.0)
+            )
+            outcomes["ok"] += 1
+        except ConnectionTimeout:
+            outcomes["blocked"] += 1
+
+    # c0 is an allowed source: admitted on the closed port 81 too
+    sim.process(attempt(clients[0], 81))
+    # everyone connects on the open port 80 concurrently
+    for client in clients:
+        sim.process(attempt(client, 80))
+    # three strangers hammer the closed port 81 concurrently
+    for client in clients[1:4]:
+        sim.process(attempt(client, 81))
+    sim.run()
+    assert outcomes == {"ok": len(clients) + 1, "blocked": 3}
+    assert server.firewall.dropped == 3
+
+
+def test_retrying_client_counts_every_attempt(world):
+    net, clients, server = world
+    sim = net.sim
+    server.firewall = FirewallPolicy.outbound_only()
+    listen(sim, server, 80)
+
+    def retrier():
+        for _ in range(4):
+            try:
+                yield from connect(
+                    net, clients[0], "server", 80,
+                    TcpParams(connect_timeout=1.0),
+                )
+            except ConnectionTimeout:
+                pass
+
+    sim.run(sim.process(retrier()))
+    assert server.firewall.dropped == 4
