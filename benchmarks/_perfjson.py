@@ -1,0 +1,24 @@
+"""Machine-readable benchmark artifacts.
+
+The perf-smoke CI job runs a subset of benchmarks and archives
+``BENCH_<name>.json`` files written at the repo root, so perf numbers are
+diffable across runs without scraping pytest output.  Keep payloads flat
+JSON (lists of row dicts plus a ``gate`` summary) — the artifact is the
+interface.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def write_bench_json(name: str, payload: dict) -> pathlib.Path:
+    """Write ``BENCH_<name>.json`` at the repo root; returns the path."""
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path

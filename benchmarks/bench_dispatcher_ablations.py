@@ -1,5 +1,6 @@
-"""Ablations A1/A2/A4: pool sizing, batching, hold-retry reliability."""
+"""Ablations A1/A2/A4/A5: pools, batching, reliability, envelope fast path."""
 
+from bench_fastpath import measure_pair
 from repro.experiments import ablations
 
 
@@ -45,3 +46,20 @@ def test_a4_reliability(benchmark, record_report):
     record_report("ablation_a4_reliability", report.render())
     assert report.extras["backoff x8"]["delivered"] == 50
     assert report.extras["no-retry"]["delivered"] == 0
+
+
+def test_a5_envelope_fast_path(benchmark, paper_scale, record_report):
+    """fast_path on/off: the per-message envelope cost the knob toggles."""
+    row = benchmark.pedantic(
+        lambda: measure_pair(64 * 1024, batch=8, paper_scale=paper_scale),
+        rounds=1,
+        iterations=1,
+    )
+    record_report(
+        "ablation_a5_fastpath",
+        "variant\tmsgs/s\tbytes_decoded\n"
+        f"fast_path=True\t{row['fast_msgs_per_sec']:.0f}\t{row['fast_bytes_decoded']}\n"
+        f"fast_path=False\t{row['slow_msgs_per_sec']:.0f}\t{row['slow_bytes_decoded']}\n"
+        f"speedup\t{row['speedup']:.2f}x",
+    )
+    assert row["speedup"] >= 2.0

@@ -13,6 +13,7 @@ all but the first resolution must be cache hits.
 
 from dataclasses import replace
 
+from _perfjson import write_bench_json
 from repro.core.registry import ServiceRegistry
 from repro.core.sim_dispatcher import SimMsgDispatcher, SimMsgDispatcherConfig
 from repro.http import HttpResponse
@@ -91,6 +92,14 @@ def test_pipelined_drain_speedup(benchmark, paper_scale, record_report):
         )
     rows.append(f"speedup\t{speedup:.2f}x")
     record_report("pipeline_drain", "\n".join(rows))
+    write_bench_json(
+        "pipeline_drain",
+        {
+            "benchmark": "pipeline_drain",
+            "rows": [dict(out[label], variant=label) for label in out],
+            "gate": {"min_speedup": 2.0, "speedup": round(speedup, 2)},
+        },
+    )
     assert serial["delivered"] == messages
     assert piped["delivered"] == messages
     # the lease + burst drain must at least double drained msgs/sec

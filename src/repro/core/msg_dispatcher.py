@@ -45,7 +45,7 @@ from repro.reliable.breaker import BreakerConfig, BreakerOpenError, BreakerRegis
 from repro.reliable.policy import RetryPolicy
 from repro.rt.client import HttpClient
 from repro.rt.service import RequestContext
-from repro.soap import Envelope
+from repro.soap import Envelope, LazyEnvelope, fastpath_counter, parse_envelope
 from repro.transport.base import parse_http_url
 from repro.util.clock import Clock, MonotonicClock
 from repro.util.concurrency import ClosableQueue, QueueClosed
@@ -91,6 +91,11 @@ class MsgDispatcherConfig:
     max_inflight: int | None = None
     #: Retry-After seconds advertised when shedding
     shed_retry_after: float = 1.0
+    #: operate on zero-copy LazyEnvelopes end to end: headers are rewritten
+    #: as Elements, the Body is forwarded as an unparsed byte slice.  False
+    #: materializes incoming lazy envelopes into full DOMs at admission
+    #: (the slow-path ablation knob; bench_fastpath measures the gap)
+    fast_path: bool = True
 
 
 @dataclass
@@ -218,6 +223,7 @@ class MsgDispatcher:
             "dispatcher_drain_timeouts_total",
             "drain() calls that timed out with messages still queued",
         )
+        self._m_fastpath = fastpath_counter(self.metrics)
         #: per-destination circuit breakers (None unless config.breaker)
         self.breakers: BreakerRegistry | None = None
         if self.config.breaker is not None:
@@ -267,6 +273,8 @@ class MsgDispatcher:
     def handle(self, envelope: Envelope, ctx: RequestContext) -> None:
         """Accept a one-way message; processing continues on the pools."""
         t_arrival = self.clock.now()
+        if not self.config.fast_path and isinstance(envelope, LazyEnvelope):
+            envelope = envelope.materialize()
         trace = extract_trace(envelope)
         self._admit(envelope, ctx.path, trace, t_arrival)
         return None  # HTTP layer answers 202 Accepted
@@ -403,6 +411,8 @@ class MsgDispatcher:
             # of traced traffic never depend on store enablement.
             route_sid = self.traces.new_span_id()
             attach_trace(result.envelope, trace.child(route_sid))
+        if isinstance(result.envelope, LazyEnvelope):
+            self.counters.inc("forwarded_spliced")
         self._enqueue(
             result.envelope.to_bytes(), physical,
             message_id=result.message_id,
@@ -448,6 +458,8 @@ class MsgDispatcher:
         if trace is not None:
             route_sid = self.traces.new_span_id()
             attach_trace(out, trace.child(route_sid))
+        if isinstance(out, LazyEnvelope):
+            self.counters.inc("forwarded_spliced")
         self._enqueue(
             out.to_bytes(), target.address,
             trace=trace, parent_span_id=route_sid,
@@ -815,7 +827,11 @@ class MsgDispatcher:
         if response.status != 200 or not response.body or item.message_id is None:
             return
         try:
-            envelope = Envelope.from_bytes(response.body)
+            envelope = parse_envelope(
+                response.body,
+                counter=self._m_fastpath,
+                fast=self.config.fast_path,
+            )
             headers = AddressingHeaders.from_envelope(envelope)
         except ReproError:
             self.counters.inc("inband_unparseable")

@@ -38,7 +38,7 @@ from repro.simnet.httpsim import SimHttpClientPool
 from repro.simnet.kernel import Simulator
 from repro.simnet.resources import Resource, Store
 from repro.simnet.topology import Host, Network
-from repro.soap import Envelope, Fault
+from repro.soap import Envelope, Fault, LazyEnvelope, fastpath_counter, parse_envelope
 from repro.soap.constants import SOAP11_CONTENT_TYPE
 from repro.transport.base import parse_http_url
 from repro.util.stats import Counter
@@ -76,10 +76,14 @@ class SimRpcDispatcher:
         balancer: object | None = None,
         metrics: MetricsRegistry | None = None,
         traces: TraceStore | None = None,
+        fast_path: bool = True,
     ) -> None:
         """``balancer`` (a :class:`~repro.core.loadbalance.BalancerPolicy`)
         receives on_start/on_finish load feedback per forwarded call so
-        least-pending selection can see in-flight work."""
+        least-pending selection can see in-flight work.
+
+        ``fast_path`` mirrors the threaded RpcDispatcher: scan-validate
+        and forward the request bytes verbatim instead of parse + copy."""
         self.net = net
         self.registry = registry
         self.mount_prefix = mount_prefix
@@ -107,6 +111,8 @@ class SimRpcDispatcher:
             "rpcd_forward_seconds",
             "blocking dispatcher-to-service exchange time",
         )
+        self.fast_path = fast_path
+        self._m_fastpath = fastpath_counter(self.metrics)
 
     def handler(self, request: HttpRequest):
         """Generator handler for :class:`~repro.simnet.httpsim.SimHttpServer`."""
@@ -114,7 +120,9 @@ class SimRpcDispatcher:
             return HttpResponse(status=405, body=b"RPC dispatcher accepts POST")
         try:
             logical = extract_logical(request.target, self.mount_prefix)
-            envelope = Envelope.from_bytes(request.body)
+            envelope = parse_envelope(
+                request.body, counter=self._m_fastpath, fast=self.fast_path
+            )
         except (RoutingError, XmlError, SoapError) as exc:
             self.counters.inc("rejected")
             self._m_rejected.labels(reason="bad_request").inc()
@@ -127,7 +135,10 @@ class SimRpcDispatcher:
             self._m_rejected.labels(reason="unknown_service").inc()
             return soap_fault_response(Fault("Client", str(exc)), status=404)
         endpoint, path = parse_http_url(physical)
-        forward = _soap_post(path, envelope.to_bytes())
+        if isinstance(envelope, LazyEnvelope):
+            forward = _soap_post(path, request.body)  # verbatim, scan-validated
+        else:
+            forward = _soap_post(path, envelope.to_bytes())
         if self.balancer is not None:
             self.balancer.on_start(physical)
         t_send = self.net.sim.now
@@ -204,6 +215,9 @@ class SimMsgDispatcherConfig:
     shed_retry_after: float = 1.0
     #: how often the hold/retry pump re-examines parked messages
     hold_pump_interval: float = 0.25
+    #: zero-copy envelopes: scan-parse incoming messages (headers only)
+    #: and forward by byte splicing; False = full DOM parse + re-serialize
+    fast_path: bool = True
 
 
 @dataclass
@@ -275,6 +289,7 @@ class SimMsgDispatcher:
             "dispatcher_shed_total",
             "requests shed by admission control, by component",
         )
+        self._m_fastpath = fastpath_counter(self.metrics)
         self._correlations: dict[str, _SimCorrelation] = {}
         self._waiters: dict[str, object] = {}  # sync-bridge events by URI
         self._destinations: dict[str, Store] = {}
@@ -311,7 +326,11 @@ class SimMsgDispatcher:
         if request.method != "POST":
             return HttpResponse(status=405, body=b"MSG dispatcher accepts POST")
         try:
-            envelope = Envelope.from_bytes(request.body)
+            envelope = parse_envelope(
+                request.body,
+                counter=self._m_fastpath,
+                fast=self.config.fast_path,
+            )
         except (XmlError, SoapError) as exc:
             self.counters.inc("rejected")
             self._m_dropped.labels(reason="invalid_soap").inc()
@@ -445,6 +464,8 @@ class SimMsgDispatcher:
                 now + self.config.correlation_ttl,
             )
         route_sid = self._route_span(trace, result.envelope, logical, physical)
+        if isinstance(result.envelope, LazyEnvelope):
+            self.counters.inc("forwarded_spliced")
         self.counters.inc("routed_requests")
         log_event(
             self._log, logging.DEBUG, "route",
@@ -505,6 +526,8 @@ class SimMsgDispatcher:
         )
         new_headers.attach(out)
         route_sid = self._route_span(trace, out, None, target.address)
+        if isinstance(out, LazyEnvelope):
+            self.counters.inc("forwarded_spliced")
         self.counters.inc("routed_responses")
         log_event(
             self._log, logging.DEBUG, "route",
@@ -856,7 +879,11 @@ class SimMsgDispatcher:
         if response.status != 200 or not response.body or message_id is None:
             return
         try:
-            envelope = Envelope.from_bytes(response.body)
+            envelope = parse_envelope(
+                response.body,
+                counter=self._m_fastpath,
+                fast=self.config.fast_path,
+            )
             headers = AddressingHeaders.from_envelope(envelope)
         except ReproError:
             self.counters.inc("inband_unparseable")

@@ -40,6 +40,26 @@ class SoapError(ReproError):
     """A SOAP envelope could not be built or understood."""
 
 
+class FastPathUnsupported(ReproError):
+    """The zero-copy envelope scanner bailed out; fall back to the full parse.
+
+    Deliberately *not* a subclass of :class:`XmlError` or :class:`SoapError`:
+    it does not mean the document is invalid, only that the fast path cannot
+    prove it safe to splice — ``except (XmlError, SoapError)`` handlers that
+    turn parse failures into HTTP 400s must never swallow it.  ``reason`` is
+    a short stable label used as the ``outcome`` of the
+    ``soap_fastpath_total`` counter.
+    """
+
+    def __init__(self, reason: str, detail: str = "") -> None:
+        message = f"fast path unsupported: {reason}"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+        self.reason = reason
+        self.detail = detail
+
+
 class SoapFaultError(SoapError):
     """A SOAP Fault was received; carries the parsed fault."""
 

@@ -80,7 +80,13 @@ class MessageParser:
     is_response = False
 
     def __init__(self, max_body: int = DEFAULT_MAX_BODY) -> None:
+        # Receive buffer with a consumed-bytes offset: consuming a line or
+        # a body slice advances _pos instead of deleting the buffer head
+        # (`del buf[:n]` shifts the whole tail — O(n) per line turns a
+        # large pipelined burst into quadratic work).  The consumed prefix
+        # is trimmed off at amortized O(1) in _compact().
         self._buf = bytearray()
+        self._pos = 0
         self._max_body = max_body
         self._state = "start-line"
         self._eof = False
@@ -101,6 +107,7 @@ class MessageParser:
             raise HttpParseError("feed after EOF")
         self._buf.extend(data)
         self._advance()
+        self._compact()
 
     def feed_eof(self) -> None:
         """Signal connection close; may complete a read-until-close body."""
@@ -108,7 +115,7 @@ class MessageParser:
         self._advance()
         if self._state == "body-until-close":
             self._finish_message()
-        elif self._state != "start-line" or self._buf:
+        elif self._state != "start-line" or self._pos < len(self._buf):
             raise HttpParseError("connection closed mid-message")
 
     def next_message(self):
@@ -120,7 +127,21 @@ class MessageParser:
     @property
     def idle(self) -> bool:
         """True when no partial message is buffered (safe keep-alive point)."""
-        return self._state == "start-line" and not self._buf and not self._ready
+        return (
+            self._state == "start-line"
+            and self._pos >= len(self._buf)
+            and not self._ready
+        )
+
+    def _compact(self) -> None:
+        """Trim the consumed prefix once it dominates the buffer.
+
+        Deferred until the consumed span is both large and the majority of
+        the buffer, so the O(n) shift happens at most once per O(n)
+        consumed bytes — amortized constant time."""
+        if self._pos > 4096 and self._pos * 2 > len(self._buf):
+            del self._buf[: self._pos]
+            self._pos = 0
 
     # -- state machine -----------------------------------------------------
     def _advance(self) -> None:
@@ -141,13 +162,13 @@ class MessageParser:
                 progress = self._parse_until_close()
 
     def _take_line(self) -> bytes | None:
-        idx = self._buf.find(_CRLF)
+        idx = self._buf.find(_CRLF, self._pos)
         if idx < 0:
-            if len(self._buf) > MAX_HEADER_BYTES:
+            if len(self._buf) - self._pos > MAX_HEADER_BYTES:
                 raise HttpParseError("header line exceeds limit")
             return None
-        line = bytes(self._buf[:idx])
-        del self._buf[: idx + 2]
+        line = bytes(self._buf[self._pos : idx])
+        self._pos = idx + 2
         return line
 
     def _parse_start_line(self) -> bool:
@@ -236,11 +257,12 @@ class MessageParser:
         self._finish_message()
 
     def _parse_body_length(self) -> bool:
-        if not self._buf:
+        available = len(self._buf) - self._pos
+        if available <= 0:
             return False
-        take = min(self._remaining, len(self._buf))
-        self._body.extend(self._buf[:take])
-        del self._buf[:take]
+        take = min(self._remaining, available)
+        self._body.extend(self._buf[self._pos : self._pos + take])
+        self._pos += take
         self._remaining -= take
         if self._remaining == 0:
             self._finish_message()
@@ -276,21 +298,23 @@ class MessageParser:
 
     def _parse_chunk_data(self) -> bool:
         needed = self._remaining + 2  # data + CRLF
-        if len(self._buf) < needed:
+        if len(self._buf) - self._pos < needed:
             return False
-        self._body.extend(self._buf[: self._remaining])
-        if self._buf[self._remaining : needed] != _CRLF:
+        data_end = self._pos + self._remaining
+        self._body.extend(self._buf[self._pos : data_end])
+        if self._buf[data_end : data_end + 2] != _CRLF:
             raise HttpParseError("chunk data not followed by CRLF")
-        del self._buf[:needed]
+        self._pos += needed
         self._remaining = 0
         self._state = "chunk-size"
         return True
 
     def _parse_until_close(self) -> bool:
-        if len(self._body) + len(self._buf) > self._max_body:
+        if len(self._body) + len(self._buf) - self._pos > self._max_body:
             raise HttpParseError("body exceeds limit")
-        self._body.extend(self._buf)
+        self._body.extend(self._buf[self._pos :])
         self._buf.clear()
+        self._pos = 0
         return False
 
     def _finish_message(self) -> None:

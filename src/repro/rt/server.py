@@ -49,7 +49,12 @@ class HttpServer:
             target=self._accept_loop, name=f"{name}-accept", daemon=True
         )
         self._running = False
-        self._lock = threading.Lock()
+        # Monitoring counters, deliberately lock-free.  _connections_served
+        # has a single writer (the acceptor thread), so plain increments
+        # are exact.  _requests_served is bumped by many workers; under
+        # CPython's GIL a racy `+=` can at worst lose the odd increment —
+        # acceptable for a monitoring counter and not worth a lock
+        # acquisition per request on the serve path.
         self._connections_served = 0
         self._requests_served = 0
         # live-callback gauges: zero cost on the serve path
@@ -89,13 +94,11 @@ class HttpServer:
     # -- metrics ----------------------------------------------------------
     @property
     def connections_served(self) -> int:
-        with self._lock:
-            return self._connections_served
+        return self._connections_served
 
     @property
     def requests_served(self) -> int:
-        with self._lock:
-            return self._requests_served
+        return self._requests_served
 
     # -- internals ----------------------------------------------------------
     def _accept_loop(self) -> None:
@@ -106,8 +109,7 @@ class HttpServer:
                 continue
             except TransportError:
                 return  # listener closed
-            with self._lock:
-                self._connections_served += 1
+            self._connections_served += 1
             try:
                 self._pool.submit(lambda s=stream: self._serve_connection(s))
             except RejectedExecution:
@@ -124,8 +126,7 @@ class HttpServer:
                 if not request.keep_alive:
                     response.headers.set("Connection", "close")
                 stream.send(serialize_response(response))
-                with self._lock:
-                    self._requests_served += 1
+                self._requests_served += 1
                 if not request.keep_alive or not response.keep_alive:
                     return
         except (TransportError, HttpParseError):

@@ -16,7 +16,8 @@ from typing import Callable, Protocol
 
 from repro.errors import OverloadedError, ReproError, SoapError, XmlError
 from repro.http import Headers, HttpRequest, HttpResponse
-from repro.soap import Envelope, Fault
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.soap import Envelope, Fault, fastpath_counter, parse_envelope
 from repro.soap.constants import SoapVersion
 
 
@@ -82,14 +83,25 @@ class SoapHttpApp:
         self,
         server_header: str = "repro-wsd/1.0",
         accept_binary: bool = False,
+        fast_path: bool = True,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         """``accept_binary=True`` additionally accepts binary-XML envelopes
         (``application/x-repro-binxml``) — the protocol-extension future
-        work; replies to binary callers are encoded in kind."""
+        work; replies to binary callers are encoded in kind.
+
+        ``fast_path=True`` (the default) parses text envelopes with the
+        zero-copy scanner (:func:`repro.soap.parse_envelope`): headers
+        become Elements, the Body stays an unparsed byte slice until a
+        service actually reads it.  Outcomes are counted on the
+        ``soap_fastpath_total`` metric of ``metrics``."""
         self._services: list[tuple[str, SoapService]] = []
         self._pages: list[tuple[str, Callable[[HttpRequest], HttpResponse]]] = []
         self._server_header = server_header
         self._accept_binary = accept_binary
+        self._fast_path = fast_path
+        registry = metrics if metrics is not None else default_registry()
+        self._m_fastpath = fastpath_counter(registry)
 
     def mount(self, prefix: str, service: SoapService) -> None:
         if not prefix.startswith("/"):
@@ -135,13 +147,18 @@ class SoapHttpApp:
             if self._accept_binary:
                 from repro.soap.binxml import BINXML_CONTENT_TYPE, sniff_and_parse
 
-                envelope = sniff_and_parse(request.body, content_type)
                 binary_caller = bool(
                     (content_type and BINXML_CONTENT_TYPE in content_type)
                     or request.body.startswith(b"BX1")
                 )
+            if binary_caller:
+                envelope = sniff_and_parse(request.body, content_type)
             else:
-                envelope = Envelope.from_bytes(request.body)
+                envelope = parse_envelope(
+                    request.body,
+                    counter=self._m_fastpath,
+                    fast=self._fast_path,
+                )
         except (XmlError, SoapError) as exc:
             return soap_fault_response(
                 Fault("Client", f"malformed SOAP request: {exc}"), status=400

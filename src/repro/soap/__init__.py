@@ -10,6 +10,12 @@ wrapping/unwrapping; RPC style wrapping").
 
 from repro.soap.constants import SOAP11_NS, SOAP12_NS, SoapVersion
 from repro.soap.envelope import Envelope
+from repro.soap.lazy import (
+    KNOWN_HEADER_NAMESPACES,
+    LazyEnvelope,
+    fastpath_counter,
+    parse_envelope,
+)
 from repro.soap.fault import Fault
 from repro.soap.rpc import (
     RpcRequest,
@@ -25,6 +31,10 @@ __all__ = [
     "SOAP12_NS",
     "SoapVersion",
     "Envelope",
+    "LazyEnvelope",
+    "KNOWN_HEADER_NAMESPACES",
+    "parse_envelope",
+    "fastpath_counter",
     "Fault",
     "RpcRequest",
     "RpcResponse",

@@ -20,7 +20,8 @@ QName('urn:x', 'a')
 from repro.xmlmini.names import QName, split_prefixed
 from repro.xmlmini.node import Element
 from repro.xmlmini.writer import serialize, write_document
-from repro.xmlmini.parser import parse
+from repro.xmlmini.parser import parse, parse_fragment
+from repro.xmlmini.scan import EnvelopeScan, scan_envelope
 
 __all__ = [
     "QName",
@@ -29,4 +30,7 @@ __all__ = [
     "serialize",
     "write_document",
     "parse",
+    "parse_fragment",
+    "EnvelopeScan",
+    "scan_envelope",
 ]

@@ -34,6 +34,32 @@ def parse(document: str | bytes) -> Element:
     return _Parser(document).parse_document()
 
 
+def parse_fragment(
+    text: str, ns_scope: dict[str | None, str | None] | None = None
+) -> Element:
+    """Parse a single element cut out of a larger document.
+
+    ``ns_scope`` supplies the namespace bindings in force at the point the
+    fragment was cut (prefix → URI, ``None`` key = default namespace), so
+    prefixes declared on ancestors of the fragment still resolve.  Used by
+    the zero-copy envelope scanner to parse just the ``<soap:Header>``
+    region of a request.  Raises :class:`~repro.errors.XmlParseError` on
+    malformed input or trailing content after the element.
+    """
+    parser = _Parser(text)
+    scope: dict[str | None, str | None] = {None: None, "xml": "xml-ns"}
+    if ns_scope:
+        scope.update(ns_scope)
+    parser.skip_ws()
+    if parser.peek() != "<":
+        raise parser.fail("expected an element")
+    el = parser.parse_element(scope)
+    parser.skip_ws()
+    if parser.pos != parser.n:
+        raise parser.fail("content after fragment element")
+    return el
+
+
 class _Parser:
     def __init__(self, text: str) -> None:
         self.text = text

@@ -1,0 +1,171 @@
+"""End-to-end fast-path tests: the dispatcher hot path must never fall
+back to a full DOM parse, and disabling the knob must not change behavior."""
+
+import time
+
+import pytest
+
+from repro.core.msg_dispatcher import MsgDispatcher, MsgDispatcherConfig
+from repro.core.registry import ServiceRegistry
+from repro.core.rpc_dispatcher import RpcDispatcher
+from repro.msgbox import MailboxStore, MsgBoxService
+from repro.msgbox.client import MsgBoxClient
+from repro.obs.metrics import MetricsRegistry
+from repro.rt.client import HttpClient
+from repro.rt.server import HttpServer
+from repro.rt.service import SoapHttpApp
+from repro.soap import fastpath_counter, parse_rpc_response
+from repro.util.ids import IdGenerator
+from repro.workload.echo import (
+    AsyncEchoService,
+    EchoService,
+    make_echo_message,
+    make_echo_request,
+)
+
+
+def wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return False
+
+
+def fastpath_outcomes(registry) -> dict[str, float]:
+    return {
+        labels["outcome"]: child.get()
+        for labels, child in fastpath_counter(registry).samples()
+    }
+
+
+@pytest.fixture
+def msg_world(inproc, request):
+    """Async echo WS + MSG dispatcher + mailbox with a private registry."""
+    fast = getattr(request, "param", True)
+    metrics = MetricsRegistry()
+    ws_client = HttpClient(inproc)
+    echo = AsyncEchoService(ws_client, ids=IdGenerator("ws", seed=1))
+    ws_app = SoapHttpApp(metrics=metrics, fast_path=fast)
+    ws_app.mount("/echo", echo)
+    ws = HttpServer(
+        inproc.listen("ws:9000"), ws_app.handle_request, workers=4, metrics=metrics
+    ).start()
+
+    registry = ServiceRegistry()
+    registry.register("echo", "http://ws:9000/echo")
+    dispatcher = MsgDispatcher(
+        registry,
+        HttpClient(inproc),
+        own_address="http://wsd:8000/msg",
+        config=MsgDispatcherConfig(cx_threads=2, ws_threads=4, fast_path=fast),
+        metrics=metrics,
+    )
+    msgbox = MsgBoxService(MailboxStore(), base_url="http://wsd:8000/mailbox")
+    app = SoapHttpApp(metrics=metrics, fast_path=fast)
+    app.mount("/msg", dispatcher)
+    app.mount("/mailbox", msgbox)
+    front = HttpServer(
+        inproc.listen("wsd:8000"), app.handle_request, workers=8, metrics=metrics
+    ).start()
+
+    client = HttpClient(inproc)
+    ids = IdGenerator("client", seed=2)
+    yield metrics, dispatcher, client, ids, echo
+    dispatcher.stop()
+    ws.stop()
+    front.stop()
+    client.close()
+    ws_client.close()
+
+
+def test_hot_path_never_falls_back_to_dom_parse(msg_world, inproc):
+    metrics, dispatcher, client, ids, echo = msg_world
+    mbc = MsgBoxClient(HttpClient(inproc), "http://wsd:8000/mailbox")
+    mbc.create()
+    for _ in range(5):
+        msg = make_echo_message(
+            to="urn:wsd:echo", message_id=ids.next(), reply_to=mbc.epr()
+        )
+        client.post_envelope("http://wsd:8000/msg/echo", msg)
+    messages = mbc.poll(expected=5, timeout=5)
+    assert len(messages) == 5
+    assert parse_rpc_response(messages[0]).result("return") is not None
+
+    outcomes = fastpath_outcomes(metrics)
+    # request ingest + response absorption, at the front door and the WS
+    assert outcomes.get("fast", 0) >= 10
+    bailed = {k: v for k, v in outcomes.items() if k != "fast" and v}
+    assert bailed == {}, f"hot path fell back to the DOM parser: {bailed}"
+    # forwarded messages were spliced, not re-serialized from a tree
+    assert dispatcher.stats.get("forwarded_spliced", 0) >= 10
+
+
+@pytest.mark.parametrize("msg_world", [False], indirect=True)
+def test_disabled_fast_path_still_delivers(msg_world, inproc):
+    metrics, dispatcher, client, ids, echo = msg_world
+    mbc = MsgBoxClient(HttpClient(inproc), "http://wsd:8000/mailbox")
+    mbc.create()
+    msg = make_echo_message(
+        to="urn:wsd:echo", message_id=ids.next(), reply_to=mbc.epr()
+    )
+    client.post_envelope("http://wsd:8000/msg/echo", msg)
+    assert len(mbc.poll(expected=1, timeout=5)) == 1
+
+    outcomes = fastpath_outcomes(metrics)
+    assert outcomes.get("disabled", 0) >= 1
+    assert outcomes.get("fast", 0) == 0
+    assert dispatcher.stats.get("forwarded_spliced", 0) == 0
+
+
+@pytest.fixture
+def rpc_world(inproc):
+    metrics = MetricsRegistry()
+    app = SoapHttpApp(metrics=metrics)
+    app.mount("/echo", EchoService())
+    ws = HttpServer(inproc.listen("ws:9000"), app.handle_request, workers=4).start()
+    registry = ServiceRegistry()
+    registry.register("echo", "http://ws:9000/echo")
+    dispatcher = RpcDispatcher(registry, HttpClient(inproc), metrics=metrics)
+    front = HttpServer(
+        inproc.listen("wsd:8000"), dispatcher.handle_request, workers=4
+    ).start()
+    client = HttpClient(inproc)
+    yield metrics, dispatcher, client
+    ws.stop()
+    front.stop()
+    client.close()
+
+
+def test_rpc_dispatcher_forwards_bytes_verbatim(rpc_world):
+    metrics, dispatcher, client = rpc_world
+    reply = client.call_soap("http://wsd:8000/rpc/echo", make_echo_request())
+    assert parse_rpc_response(reply).result("return")
+    outcomes = fastpath_outcomes(metrics)
+    assert outcomes.get("fast", 0) >= 1
+    assert dispatcher.stats["forwarded"] == 1
+
+
+def test_rpc_dispatcher_disabled_knob(inproc):
+    metrics = MetricsRegistry()
+    app = SoapHttpApp(metrics=metrics)
+    app.mount("/echo", EchoService())
+    ws = HttpServer(inproc.listen("ws:9100"), app.handle_request, workers=2).start()
+    registry = ServiceRegistry()
+    registry.register("echo", "http://ws:9100/echo")
+    dispatcher = RpcDispatcher(
+        registry, HttpClient(inproc), metrics=metrics, fast_path=False
+    )
+    front = HttpServer(
+        inproc.listen("wsd:8100"), dispatcher.handle_request, workers=2
+    ).start()
+    client = HttpClient(inproc)
+    try:
+        reply = client.call_soap("http://wsd:8100/rpc/echo", make_echo_request())
+        assert parse_rpc_response(reply).result("return")
+        assert fastpath_outcomes(metrics).get("disabled", 0) >= 1
+    finally:
+        ws.stop()
+        front.stop()
+        client.close()

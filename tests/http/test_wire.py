@@ -1,5 +1,7 @@
 """Tests for the incremental HTTP wire codec."""
 
+import time
+
 import pytest
 
 from repro.errors import HttpParseError
@@ -211,3 +213,30 @@ def test_header_block_size_limit():
     huge = b"GET / HTTP/1.1\r\n" + b"X: " + b"a" * 40_000 + b"\r\n\r\n"
     with pytest.raises(HttpParseError):
         p.feed(huge)
+
+
+class TestBufferScaling:
+    """The parser buffer must not go quadratic on long pipelined bursts."""
+
+    def test_thousand_pipelined_requests_one_byte_at_a_time(self):
+        # Regression: consuming used to `del buf[:n]` per line, making a
+        # long burst O(n^2).  1000 requests fed a byte at a time must parse
+        # in well under a second; with the old buffering this took minutes.
+        body = b"x" * 32
+        one = (
+            b"POST /svc HTTP/1.1\r\nContent-Length: 32\r\n\r\n" + body
+        )
+        wire = one * 1000
+        p = RequestParser()
+        seen = 0
+        start = time.monotonic()
+        for i in range(len(wire)):
+            p.feed(wire[i : i + 1])
+            while p.next_message() is not None:
+                seen += 1
+        elapsed = time.monotonic() - start
+        assert seen == 1000
+        assert p.idle
+        assert elapsed < 5.0  # generous bound; quadratic behavior blows it
+        # the consumed prefix must have been trimmed, not retained forever
+        assert len(p._buf) < len(wire)
