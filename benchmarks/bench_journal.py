@@ -1,0 +1,249 @@
+"""Durable journal cost: append throughput by sync mode, drain on/off.
+
+Two questions, one artifact.  First, what does each ``MessageJournal``
+sync mode cost at the append call site?  ``always`` commits (and on real
+disks fsyncs) per append, ``group`` rides the leader's group-commit
+window so N concurrent appenders share one transaction, and ``lazy``
+buffers until ``flush_threshold``.  Second, what does the ``durable=``
+knob cost the threaded MSG-Dispatcher end to end?  A backlog of one-way
+messages is drained over inproc transport three times — journal off,
+``sync="group"``, and ``sync="always"`` — and the off/on ratio is the
+price of durability.
+
+The gates are deliberately loose (perf-smoke runs on noisy shared
+runners): group commit must amortize — far fewer commits than appends
+under concurrency — and the group-commit drain must keep at least a
+third of the non-durable drain rate.  ``durable=None`` itself adds only
+a predicate check per message, so the fast path's own gate in
+``bench_fastpath.py`` is the regression guard for the default-off case.
+Results land in ``benchmarks/out/journal.txt`` and ``BENCH_journal.json``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from _perfjson import write_bench_json
+from repro.core.msg_dispatcher import MsgDispatcher, MsgDispatcherConfig
+from repro.core.registry import ServiceRegistry
+from repro.http import HttpResponse
+from repro.rt.client import HttpClient
+from repro.rt.server import HttpServer
+from repro.rt.service import SoapHttpApp
+from repro.store import MessageJournal
+from repro.transport.inproc import InprocNetwork
+from repro.util.ids import IdGenerator
+from repro.workload.echo import make_echo_message
+
+SYNC_MODES = ("always", "group", "lazy")
+APPEND_THREADS = (1, 8)
+
+
+def measure_appends(
+    tmp_dir, sync: str, threads: int, per_thread: int
+) -> dict:
+    """Append throughput for one sync mode at one concurrency level."""
+    journal = MessageJournal(
+        str(tmp_dir / f"bench-{sync}-{threads}.journal"), sync=sync
+    )
+    body = b"<Envelope>bench</Envelope>"
+    barrier = threading.Barrier(threads + 1)
+
+    def appender(worker: int) -> None:
+        barrier.wait()
+        for i in range(per_thread):
+            journal.append(f"uuid:bench-{worker}-{i}", "/msg/echo", body)
+
+    workers = [
+        threading.Thread(target=appender, args=(w,)) for w in range(threads)
+    ]
+    for t in workers:
+        t.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for t in workers:
+        t.join()
+    journal.flush()
+    elapsed = time.perf_counter() - t0
+    stats = journal.stats
+    journal.close()
+    total = threads * per_thread
+    return {
+        "sync": sync,
+        "threads": threads,
+        "appends": total,
+        "commits": stats.get("commits", 0),
+        "appends_per_sec": round(total / elapsed, 1),
+    }
+
+
+def drain_backlog(tmp_dir, messages: int, sync: str | None) -> dict:
+    """Drain a one-way backlog through the threaded dispatcher; return
+    msgs/sec with the journal off (``sync=None``) or in the given mode."""
+    inproc = InprocNetwork()
+    delivered = threading.Event()
+    count = {"n": 0}
+    lock = threading.Lock()
+
+    def sink(request, peer=None):
+        with lock:
+            count["n"] += 1
+            if count["n"] >= messages:
+                delivered.set()
+        return HttpResponse(status=202)
+
+    ws = HttpServer(inproc.listen("ws:9000"), sink, workers=4).start()
+    registry = ServiceRegistry()
+    registry.register("echo", "http://ws:9000/echo")
+    journal = None
+    if sync is not None:
+        journal = MessageJournal(
+            str(tmp_dir / f"drain-{sync}.journal"), sync=sync
+        )
+    dispatcher = MsgDispatcher(
+        registry,
+        HttpClient(inproc),
+        own_address="http://wsd:8000/msg",
+        config=MsgDispatcherConfig(cx_threads=2, ws_threads=4),
+        durable=journal,
+    )
+    app = SoapHttpApp()
+    app.mount("/msg", dispatcher)
+    front = HttpServer(
+        inproc.listen("wsd:8000"), app.handle_request, workers=8
+    ).start()
+    ids = IdGenerator("bench-journal", seed=messages)
+    payloads = [
+        make_echo_message(to="urn:wsd:echo", message_id=ids.next())
+        for _ in range(messages)
+    ]
+    # concurrent senders, like real load — group commit amortizes across
+    # simultaneous admits, a lone serial sender would pay the whole
+    # group window per message
+    senders = 8
+    chunks = [payloads[i::senders] for i in range(senders)]
+    clients = [HttpClient(inproc) for _ in range(senders)]
+    failures: list[int] = []
+
+    def send(client: HttpClient, chunk) -> None:
+        for envelope in chunk:
+            response = client.post_envelope(
+                "http://wsd:8000/msg/echo", envelope
+            )
+            if response.status != 202:
+                failures.append(response.status)
+
+    threads = [
+        threading.Thread(target=send, args=(c, chunk))
+        for c, chunk in zip(clients, chunks)
+    ]
+    try:
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures, f"non-202 admits: {failures[:5]}"
+        assert delivered.wait(timeout=60.0), "drain never finished"
+        drained = dispatcher.stop(drain=True)
+        elapsed = time.perf_counter() - t0
+    finally:
+        dispatcher.stop()
+        for client in clients:
+            client.close()
+        front.stop()
+        ws.stop()
+    pending = journal.pending_count() if journal is not None else 0
+    if journal is not None:
+        journal.close()
+    return {
+        "variant": "off" if sync is None else f"durable-{sync}",
+        "messages": messages,
+        "delivered": count["n"],
+        "drained_clean": bool(drained),
+        "journal_pending": pending,
+        "msgs_per_sec": round(messages / elapsed, 1),
+    }
+
+
+def run_all(tmp_dir, paper_scale: bool = False) -> dict:
+    per_thread = 400 if paper_scale else 150
+    messages = 600 if paper_scale else 300
+    append_rows = [
+        measure_appends(tmp_dir, sync, threads, per_thread)
+        for sync in SYNC_MODES
+        for threads in APPEND_THREADS
+    ]
+    drain_rows = [
+        drain_backlog(tmp_dir, messages, sync)
+        for sync in (None, "group", "always")
+    ]
+    off = next(r for r in drain_rows if r["variant"] == "off")
+    group = next(r for r in drain_rows if r["variant"] == "durable-group")
+    grouped = next(
+        r
+        for r in append_rows
+        if r["sync"] == "group" and r["threads"] == max(APPEND_THREADS)
+    )
+    return {
+        "benchmark": "journal",
+        "append_rows": append_rows,
+        "drain_rows": drain_rows,
+        "gate": {
+            # group commit must amortize: N threads, far fewer commits
+            "group_commits": grouped["commits"],
+            "group_appends": grouped["appends"],
+            "max_commit_fraction": 0.5,
+            # durability tax on the drain path, group mode
+            "durable_group_fraction": round(
+                group["msgs_per_sec"] / off["msgs_per_sec"], 3
+            ),
+            "min_durable_group_fraction": 0.33,
+        },
+    }
+
+
+def render(payload: dict) -> str:
+    lines = ["sync\tthreads\tappends\tcommits\tappends/s"]
+    for r in payload["append_rows"]:
+        lines.append(
+            f"{r['sync']}\t{r['threads']}\t{r['appends']}\t{r['commits']}\t"
+            f"{r['appends_per_sec']:.0f}"
+        )
+    lines.append("")
+    lines.append("variant\tdelivered\tmsgs/s\tdrained_clean\tpending")
+    for r in payload["drain_rows"]:
+        lines.append(
+            f"{r['variant']}\t{r['delivered']}\t{r['msgs_per_sec']:.0f}\t"
+            f"{r['drained_clean']}\t{r['journal_pending']}"
+        )
+    gate = payload["gate"]
+    lines.append(
+        f"gate: group drain keeps {gate['durable_group_fraction']:.0%} of "
+        f"non-durable (needs >= {gate['min_durable_group_fraction']:.0%}); "
+        f"group commit {gate['group_commits']}/{gate['group_appends']} "
+        f"commits/appends"
+    )
+    return "\n".join(lines)
+
+
+def test_journal_durability_cost(benchmark, paper_scale, record_report, tmp_path):
+    payload = benchmark.pedantic(
+        lambda: run_all(tmp_path, paper_scale), rounds=1, iterations=1
+    )
+    record_report("journal", render(payload))
+    write_bench_json("journal", payload)
+    gate = payload["gate"]
+    # concurrency must share transactions, not serialize on fsync
+    assert gate["group_commits"] <= gate["group_appends"] * gate[
+        "max_commit_fraction"
+    ]
+    # every drain variant delivered its whole backlog and checkpointed
+    for row in payload["drain_rows"]:
+        assert row["delivered"] == row["messages"]
+        assert row["drained_clean"]
+        assert row["journal_pending"] == 0
+    assert (
+        gate["durable_group_fraction"] >= gate["min_durable_group_fraction"]
+    )

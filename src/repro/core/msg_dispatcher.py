@@ -42,8 +42,10 @@ from repro.obs.trace import (
     extract_trace,
 )
 from repro.reliable.breaker import BreakerConfig, BreakerOpenError, BreakerRegistry
+from repro.reliable.holdretry import DuplicateFilter
 from repro.reliable.policy import RetryPolicy
 from repro.rt.client import HttpClient
+from repro.store.journal import ABSORBED, DEAD, DELIVERED, MessageJournal
 from repro.rt.service import RequestContext
 from repro.soap import Envelope, LazyEnvelope, fastpath_counter, parse_envelope
 from repro.transport.base import parse_http_url
@@ -96,6 +98,11 @@ class MsgDispatcherConfig:
     #: materializes incoming lazy envelopes into full DOMs at admission
     #: (the slow-path ablation knob; bench_fastpath measures the gap)
     fast_path: bool = True
+    #: sliding-window duplicate suppression on the inbound absorption path
+    #: (seconds); at-least-once redelivery — journal replay, client
+    #: resends, hold-store retries from an upstream dispatcher — becomes
+    #: effectively-once.  None (the default) forwards duplicates untouched.
+    dedupe_window: float | None = None
 
 
 @dataclass
@@ -120,6 +127,8 @@ class _OutboundItem:
     trace: TraceContext | None = None
     parent_span_id: str | None = None
     enqueued_at: float = 0.0
+    #: journal sequence of the inbound record this item descends from
+    journal_seq: int | None = None
 
 
 class _Destination:
@@ -152,6 +161,8 @@ class MsgDispatcher:
         inspector: "object | None" = None,
         metrics: MetricsRegistry | None = None,
         traces: TraceStore | None = None,
+        durable: MessageJournal | None = None,
+        recover: bool = True,
     ) -> None:
         """``hold_store`` (a :class:`~repro.reliable.HoldRetryStore`) turns
         on the future-work reliable delivery: messages whose immediate
@@ -169,7 +180,17 @@ class MsgDispatcher:
         :func:`~repro.obs.trace.default_trace_store`).  The dispatcher
         never *creates* traces — it only continues contexts already on
         the message, so untraced traffic stays byte-identical on the
-        wire."""
+        wire.
+
+        ``durable`` (a :class:`~repro.store.MessageJournal`) turns on
+        write-ahead journaling: every admitted message is journaled
+        before the 202 ack and marked when it leaves the dispatcher
+        (delivered, absorbed into the hold store, or dead-lettered).
+        With ``recover=True`` (the default) construction replays
+        undelivered records from a previous incarnation back into the
+        pipeline — at-least-once, so pair it with ``dedupe_window`` (and
+        a sink-side :class:`~repro.reliable.DuplicateFilter`) for
+        effectively-once."""
         self.registry = registry
         self.client = client
         self.own_address = own_address
@@ -178,6 +199,13 @@ class MsgDispatcher:
         self.clock = clock or MonotonicClock()
         self.hold_store = hold_store
         self.inspector = inspector
+        self.durable = durable
+        self._replayed_seqs: set[int] = set()
+        self._dedupe: DuplicateFilter | None = None
+        if self.config.dedupe_window is not None:
+            self._dedupe = DuplicateFilter(
+                window=self.config.dedupe_window, clock=self.clock
+            )
         self.counters = Counter()
         self.metrics = metrics if metrics is not None else default_registry()
         self.traces = traces if traces is not None else default_trace_store()
@@ -223,6 +251,14 @@ class MsgDispatcher:
             "dispatcher_drain_timeouts_total",
             "drain() calls that timed out with messages still queued",
         )
+        self._m_duplicates = self.metrics.counter(
+            "dispatcher_duplicates_total",
+            "inbound messages suppressed as duplicates",
+        )
+        self._m_deadletter = self.metrics.counter(
+            "dispatcher_deadletter_total",
+            "Messages moved to the dead-letter queue, by reason",
+        )
         self._m_fastpath = fastpath_counter(self.metrics)
         #: per-destination circuit breakers (None unless config.breaker)
         self.breakers: BreakerRegistry | None = None
@@ -253,21 +289,94 @@ class MsgDispatcher:
                 daemon=True,
             )
             self._hold_pump.start()
+        if self.durable is not None and recover:
+            self.recover()
 
     # -- lifecycle ----------------------------------------------------------
-    def stop(self) -> None:
+    def stop(self, drain: bool = False, timeout: float = 10.0) -> bool:
+        """Shut the dispatcher down.
+
+        ``drain=True`` is the graceful path: wait up to ``timeout`` for
+        every queue to empty before closing, then checkpoint the journal.
+        The hard path (``drain=False``, the historical behavior) closes
+        the queues immediately — queued messages are dropped from memory
+        but, under ``durable=``, stay ``enqueued`` in the journal and are
+        replayed by the next incarnation's :meth:`recover`.  Returns True
+        when nothing was left queued.
+        """
+        drained = True
+        if drain and self._running:
+            drained = self.drain(timeout)
         self._running = False
         self._accept_queue.close()
         with self._lock:
             dests = list(self._destinations.values())
         for d in dests:
             d.queue.close()
+        if self.durable is not None:
+            self.durable.flush()
+            self.durable.checkpoint()
+        return drained
 
     def __enter__(self) -> "MsgDispatcher":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.stop()
+
+    # -- crash recovery -----------------------------------------------------
+    def recover(self) -> int:
+        """Replay undelivered journal records into the pipeline.
+
+        At-least-once: a record whose delivery succeeded but whose
+        (async-buffered) mark was lost in the crash is replayed and
+        forwarded again — the sink's :class:`DuplicateFilter` absorbs it.
+        Idempotent within one incarnation: a seq is replayed at most once
+        no matter how many times this is called.  Unparseable bodies
+        (torn writes survive the CRC only if the corruption is outside
+        the checksummed fields) are dead-lettered, never raised.  Returns
+        the number of messages re-injected.
+        """
+        if self.durable is None:
+            return 0
+        replayed = 0
+        for rec in self.durable.undelivered(kind="inbound"):
+            if rec.seq in self._replayed_seqs:
+                continue
+            self._replayed_seqs.add(rec.seq)
+            try:
+                envelope = parse_envelope(
+                    rec.body, counter=self._m_fastpath,
+                    fast=self.config.fast_path,
+                )
+            except ReproError:
+                self._dead_letter(rec.seq, "corrupt")
+                continue
+            trace = extract_trace(envelope)
+            try:
+                if not self._accept_queue.try_put(
+                    (envelope, rec.target, trace, self.clock.now(), rec.seq)
+                ):
+                    break  # queue full; the rest stay journaled for later
+            except QueueClosed:
+                break
+            replayed += 1
+        if self.hold_store is not None and getattr(
+            self.hold_store, "durable", None
+        ) is not None:
+            replayed += self.hold_store.restore()
+        if replayed:
+            self.counters.inc("recovered", replayed)
+            log_event(self._log, logging.INFO, "recover", replayed=replayed)
+        return replayed
+
+    def _dead_letter(self, journal_seq: int | None, reason: str) -> None:
+        """Move a journaled message to the dead-letter queue."""
+        if self.durable is None or journal_seq is None:
+            return
+        self.durable.mark(journal_seq, DEAD, reason=reason)
+        self.counters.inc("dead_lettered")
+        self._m_deadletter.labels(reason=reason).inc()
 
     # -- SoapService entry point (step 1-2 of Fig. 3) ----------------------
     def handle(self, envelope: Envelope, ctx: RequestContext) -> None:
@@ -300,13 +409,26 @@ class MsgDispatcher:
                     "dispatcher overloaded",
                     retry_after=self.config.shed_retry_after,
                 )
+        jseq: int | None = None
+        if self.durable is not None:
+            # Journal before ack: once this commits the dispatcher owns
+            # the message — a crash at any later point replays it.
+            jseq = self.durable.append(
+                None, path, envelope.to_bytes(), kind="inbound"
+            )
         try:
             accepted = self._accept_queue.try_put(
-                (envelope, path, trace, t_arrival)
+                (envelope, path, trace, t_arrival, jseq)
             )
         except QueueClosed:
+            if jseq is not None and self.durable is not None:
+                # rejected before the ack: the client was told, so the
+                # journal must not replay it
+                self.durable.mark(jseq, ABSORBED, reason="rejected")
             raise ReproError("dispatcher is shut down") from None
         if not accepted:
+            if jseq is not None and self.durable is not None:
+                self.durable.mark(jseq, ABSORBED, reason="rejected")
             self.counters.inc("dropped_accept_queue_full")
             self._m_dropped.labels(reason="accept_queue_full").inc()
             log_event(
@@ -328,7 +450,7 @@ class MsgDispatcher:
     def _cx_loop(self) -> None:
         while True:
             try:
-                envelope, path, trace, t_enq = self._accept_queue.get()
+                envelope, path, trace, t_enq, jseq = self._accept_queue.get()
             except QueueClosed:
                 return
             t_deq = self.clock.now()
@@ -340,10 +462,11 @@ class MsgDispatcher:
                     parent_id=trace.parent_span_id, queue="accept",
                 )
             try:
-                self._route_one(envelope, path, trace, t_deq)
+                self._route_one(envelope, path, trace, t_deq, journal_seq=jseq)
             except ReproError:
                 self.counters.inc("dropped_unroutable")
                 self._m_dropped.labels(reason="unroutable").inc()
+                self._dead_letter(jseq, "unroutable")
                 log_event(
                     self._log, logging.WARNING, "drop",
                     trace=trace.trace_id if trace else None,
@@ -351,6 +474,9 @@ class MsgDispatcher:
                 )
             except Exception:  # noqa: BLE001 - keep pool threads alive
                 self.counters.inc("internal_errors")
+                # poison, not transient: replaying it would fail the same
+                # way forever, so it goes to the dead-letter queue
+                self._dead_letter(jseq, "internal_error")
 
     def _route_one(
         self,
@@ -358,6 +484,7 @@ class MsgDispatcher:
         path: str,
         trace: TraceContext | None = None,
         t_start: float | None = None,
+        journal_seq: int | None = None,
     ) -> None:
         headers = AddressingHeaders.from_envelope(envelope)
         now = self.clock.now()
@@ -365,11 +492,33 @@ class MsgDispatcher:
             t_start = now
         self._expire_correlations(now)
 
+        # Duplicate absorption (config.dedupe_window): at-least-once
+        # upstreams — journal replay, client resends, hold-store retries —
+        # deliver the same MessageID more than once; forward only the first.
+        if (
+            self._dedupe is not None
+            and headers.message_id
+            and self._dedupe.seen(headers.message_id)
+        ):
+            self.counters.inc("duplicates_suppressed")
+            self._m_duplicates.inc()
+            if journal_seq is not None and self.durable is not None:
+                self.durable.mark(journal_seq, ABSORBED, reason="duplicate")
+            log_event(
+                self._log, logging.DEBUG, "duplicate",
+                trace=trace.trace_id if trace else None,
+                message_id=headers.message_id,
+            )
+            return
+
         # A response from a WS? (RelatesTo hits a pending correlation)
         for rel in headers.relates_to:
             corr = self._pop_correlation(rel)
             if corr is not None:
-                self._route_response(envelope, headers, corr, trace, t_start)
+                self._route_response(
+                    envelope, headers, corr, trace, t_start,
+                    journal_seq=journal_seq,
+                )
                 return
 
         # A fresh client request: logical → physical, rewrite, enqueue.
@@ -417,6 +566,7 @@ class MsgDispatcher:
             result.envelope.to_bytes(), physical,
             message_id=result.message_id,
             trace=trace, parent_span_id=route_sid,
+            journal_seq=journal_seq,
         )
         self.counters.inc("routed_requests")
         if route_sid is not None:
@@ -439,11 +589,13 @@ class MsgDispatcher:
         corr: _Correlation,
         trace: TraceContext | None = None,
         t_start: float | None = None,
+        journal_seq: int | None = None,
     ) -> None:
         target = corr.fault_to if envelope.is_fault() and corr.fault_to else corr.reply_to
         if target is None or target.is_anonymous:
             self.counters.inc("dropped_no_reply_to")
             self._m_dropped.labels(reason="no_reply_to").inc()
+            self._dead_letter(journal_seq, "no_reply_to")
             return
         out = envelope.copy()
         new_headers = headers.copy()
@@ -463,6 +615,7 @@ class MsgDispatcher:
         self._enqueue(
             out.to_bytes(), target.address,
             trace=trace, parent_span_id=route_sid,
+            journal_seq=journal_seq,
         )
         self.counters.inc("routed_responses")
         if route_sid is not None:
@@ -515,6 +668,7 @@ class MsgDispatcher:
         message_id: str | None = None,
         trace: TraceContext | None = None,
         parent_span_id: str | None = None,
+        journal_seq: int | None = None,
     ) -> None:
         trace_id = trace.trace_id if trace else None
         try:
@@ -522,6 +676,7 @@ class MsgDispatcher:
         except ReproError:
             self.counters.inc("dropped_unroutable")
             self._m_dropped.labels(reason="unroutable").inc()
+            self._dead_letter(journal_seq, "unroutable")
             return
         with self._lock:
             dest = self._destinations.get(key)
@@ -536,16 +691,20 @@ class MsgDispatcher:
                 envelope_bytes, target_url, message_id=message_id,
                 trace=trace, parent_span_id=parent_span_id,
                 enqueued_at=self.clock.now(),
+                journal_seq=journal_seq,
             )
             if not dest.queue.try_put(item):
                 self.counters.inc("dropped_destination_queue_full")
                 self._m_dropped.labels(reason="destination_queue_full").inc()
+                self._dead_letter(journal_seq, "destination_queue_full")
                 log_event(
                     self._log, logging.WARNING, "drop",
                     trace=trace_id, reason="destination_queue_full", dest=key,
                 )
                 return
         except QueueClosed:
+            # shutdown race: the journal record (if any) stays enqueued,
+            # so the next incarnation replays it instead of losing it
             self.counters.inc("dropped_shutdown")
             self._m_dropped.labels(reason="shutdown").inc()
             return
@@ -715,14 +874,27 @@ class MsgDispatcher:
         if self.breakers is not None:
             self.breakers.record(self._endpoint_key(target_url), ok)
 
+    def _park_in_hold(self, item: _OutboundItem) -> None:
+        """Hand an undeliverable item to the hold store for scheduled
+        redelivery.  When the hold store journals its own ``held`` record,
+        the inbound record is retired (absorbed) — otherwise a crash would
+        replay the message from *both* records."""
+        self.hold_store.hold(
+            item.message_id, item.target_url, item.envelope_bytes
+        )
+        if (
+            self.durable is not None
+            and item.journal_seq is not None
+            and getattr(self.hold_store, "durable", None) is not None
+        ):
+            self.durable.mark(item.journal_seq, ABSORBED, reason="held")
+
     def _breaker_block(self, item: _OutboundItem) -> None:
         """Deny without a network attempt: park in the hold store (so the
         message survives the outage without burning retries) or drop."""
         trace_id = item.trace.trace_id if item.trace else None
         if self.hold_store is not None and item.message_id is not None:
-            self.hold_store.hold(
-                item.message_id, item.target_url, item.envelope_bytes
-            )
+            self._park_in_hold(item)
             self.counters.inc("held_breaker_open")
             log_event(
                 self._log, logging.INFO, "hold",
@@ -731,6 +903,7 @@ class MsgDispatcher:
         else:
             self.counters.inc("dropped_breaker_open")
             self._m_dropped.labels(reason="breaker_open").inc()
+            self._dead_letter(item.journal_seq, "breaker_open")
             log_event(
                 self._log, logging.WARNING, "drop",
                 trace=trace_id, reason="breaker_open", dest=item.target_url,
@@ -775,9 +948,7 @@ class MsgDispatcher:
             )
         elif self.hold_store is not None and item.message_id is not None:
             # reliable mode: park the message for scheduled redelivery
-            self.hold_store.hold(
-                item.message_id, item.target_url, item.envelope_bytes
-            )
+            self._park_in_hold(item)
             self.counters.inc("held_for_retry")
             log_event(
                 self._log, logging.INFO, "hold",
@@ -786,6 +957,7 @@ class MsgDispatcher:
         else:
             self.counters.inc("delivery_failures")
             self._m_dropped.labels(reason="delivery_failure").inc()
+            self._dead_letter(item.journal_seq, "delivery_failure")
             log_event(
                 self._log, logging.WARNING, "drop",
                 trace=trace_id, reason="delivery_failure",
@@ -803,6 +975,8 @@ class MsgDispatcher:
         self.counters.inc("delivered")
         self._m_delivered.inc()
         self._m_transmit.observe(t_done - t_send)
+        if self.durable is not None and item.journal_seq is not None:
+            self.durable.mark(item.journal_seq, DELIVERED)
         if item.trace is not None:
             self.traces.record(
                 item.trace.trace_id, "deliver", "msgd",
@@ -848,13 +1022,23 @@ class MsgDispatcher:
             if item.trace is not None and item.parent_span_id
             else item.trace
         )
+        jseq: int | None = None
+        if self.durable is not None:
+            # a synthesised response is a fresh inbound message and gets
+            # its own journal record
+            jseq = self.durable.append(
+                None, self.mount_prefix, envelope.to_bytes(), kind="inbound"
+            )
         try:
             if self._accept_queue.try_put(
-                (envelope, self.mount_prefix, trace, self.clock.now())
+                (envelope, self.mount_prefix, trace, self.clock.now(), jseq)
             ):
                 self.counters.inc("inband_responses")
+            elif jseq is not None:
+                self.durable.mark(jseq, ABSORBED, reason="rejected")
         except QueueClosed:
-            pass
+            if jseq is not None:
+                self.durable.mark(jseq, ABSORBED, reason="rejected")
 
     def _enqueue_retry(self, item: _OutboundItem) -> None:
         with self._lock:
@@ -901,6 +1085,12 @@ class MsgDispatcher:
             snapshot["breakers"] = self.breakers.snapshot()
         if self.hold_store is not None:
             snapshot["hold_store"] = self.hold_store.stats
+        if self.durable is not None:
+            snapshot["journal"] = dict(
+                self.durable.stats,
+                pending=self.durable.pending_count(),
+                dead=self.durable.counts().get(DEAD, 0),
+            )
         return snapshot
 
     def active_destinations(self) -> int:

@@ -32,7 +32,8 @@ from repro.obs.trace import (
     extract_trace,
 )
 from repro.reliable.breaker import BreakerConfig, BreakerRegistry
-from repro.reliable.holdretry import HoldRetryStore
+from repro.reliable.holdretry import DuplicateFilter, HoldRetryStore
+from repro.store.journal import ABSORBED, DEAD, DELIVERED, MessageJournal
 from repro.rt.service import soap_fault_response
 from repro.simnet.httpsim import SimHttpClientPool
 from repro.simnet.kernel import Simulator
@@ -218,6 +219,9 @@ class SimMsgDispatcherConfig:
     #: zero-copy envelopes: scan-parse incoming messages (headers only)
     #: and forward by byte splicing; False = full DOM parse + re-serialize
     fast_path: bool = True
+    #: sliding-window duplicate suppression on the inbound absorption path
+    #: (sim seconds); None = forward duplicates untouched
+    dedupe_window: float | None = None
 
 
 @dataclass
@@ -241,7 +245,17 @@ class SimMsgDispatcher:
         metrics: MetricsRegistry | None = None,
         traces: TraceStore | None = None,
         hold_store: HoldRetryStore | None = None,
+        durable: MessageJournal | None = None,
+        recover: bool = True,
     ) -> None:
+        """``durable`` / ``recover`` mirror the threaded dispatcher: a
+        :class:`~repro.store.MessageJournal` journals every admitted
+        message before the 202 ack, and ``recover=True`` replays a
+        previous incarnation's undelivered records at construction —
+        the simulated twin of restarting after a
+        :class:`~repro.chaos.ServiceCrash`.  Construct the journal with
+        ``sync="lazy"`` (group commit would really sleep) and a
+        ``now_fn`` bound to the simulation clock."""
         self.net = net
         self.sim: Simulator = net.sim
         self.host = host
@@ -304,13 +318,90 @@ class SimMsgDispatcher:
         #: process re-queues them on the policy schedule.  Construct the
         #: store with ``clock=net.sim.clock`` so TTLs follow sim time.
         self.hold_store = hold_store
+        self.durable = durable
+        self._replayed_seqs: set[int] = set()
+        self._dedupe: DuplicateFilter | None = None
+        if self.config.dedupe_window is not None:
+            self._dedupe = DuplicateFilter(
+                window=self.config.dedupe_window, clock=self.sim.clock
+            )
+        self._m_duplicates = self.metrics.counter(
+            "dispatcher_duplicates_total",
+            "inbound messages suppressed as duplicates",
+        )
+        self._m_deadletter = self.metrics.counter(
+            "dispatcher_deadletter_total",
+            "Messages moved to the dead-letter queue, by reason",
+        )
         self._hold_pump_active = False
         self._running = True
         for i in range(self.config.cx_workers):
             self.sim.process(self._cx_loop(), name=f"sim-cx-{i}")
+        if self.durable is not None and recover:
+            self.recover()
 
     def stop(self) -> None:
         self._running = False
+        if self.durable is not None:
+            self.durable.flush()
+            self.durable.checkpoint()
+
+    def crash(self) -> None:
+        """Simulated SIGKILL: every process halts, buffered journal
+        operations are lost, and this incarnation can no longer touch the
+        journal or the hold store (a dead process writes nothing).  The
+        journal *object* plays the disk that survives the crash — hand it
+        to the next incarnation with ``recover=True``."""
+        self._running = False
+        if self.durable is not None:
+            self.durable.drop_unflushed()
+        self.durable = None
+        self.hold_store = None
+        self._dedupe = None
+
+    # -- crash recovery -----------------------------------------------------
+    def recover(self) -> int:
+        """Replay undelivered journal records into the accept queue
+        (at-least-once; idempotent per seq within one incarnation)."""
+        if self.durable is None:
+            return 0
+        replayed = 0
+        for rec in self.durable.undelivered(kind="inbound"):
+            if rec.seq in self._replayed_seqs:
+                continue
+            self._replayed_seqs.add(rec.seq)
+            try:
+                envelope = parse_envelope(
+                    rec.body, counter=self._m_fastpath,
+                    fast=self.config.fast_path,
+                )
+            except ReproError:
+                self._dead_letter(rec.seq, "corrupt")
+                continue
+            trace = extract_trace(envelope)
+            if not self._accept.try_put(
+                (envelope, rec.target, trace, self.sim.now, rec.seq)
+            ):
+                break  # queue full; the rest stay journaled for later
+            replayed += 1
+        if self.hold_store is not None and getattr(
+            self.hold_store, "durable", None
+        ) is not None:
+            restored = self.hold_store.restore()
+            replayed += restored
+            if restored:
+                self._ensure_hold_pump()
+        if replayed:
+            self.counters.inc("recovered", replayed)
+            log_event(self._log, logging.INFO, "recover", replayed=replayed)
+        return replayed
+
+    def _dead_letter(self, journal_seq: int | None, reason: str) -> None:
+        if self.durable is None or journal_seq is None:
+            return
+        self.durable.mark(journal_seq, DEAD, reason=reason)
+        self.counters.inc("dead_lettered")
+        self._m_deadletter.labels(reason=reason).inc()
 
     # -- HTTP handler (accepts one-way messages, answers 202) --------------
     def handler(self, request: HttpRequest):
@@ -350,10 +441,18 @@ class SimMsgDispatcher:
                 max_inflight=self.config.max_inflight,
             )
             return self._shed_response()
+        jseq: int | None = None
+        if self.durable is not None:
+            # journal before ack: from here the journal owns the message
+            jseq = self.durable.append(
+                None, request.target, request.body, kind="inbound"
+            )
         if self.config.shed_on_full:
             if not self._accept.try_put(
-                (envelope, request.target, trace, t_arrival)
+                (envelope, request.target, trace, t_arrival, jseq)
             ):
+                if jseq is not None:
+                    self.durable.mark(jseq, ABSORBED, reason="rejected")
                 self.counters.inc("dropped_accept_queue_full")
                 self._m_dropped.labels(reason="accept_queue_full").inc()
                 log_event(
@@ -362,7 +461,9 @@ class SimMsgDispatcher:
                 )
                 return self._shed_response()
         else:
-            yield self._accept.put((envelope, request.target, trace, t_arrival))
+            yield self._accept.put(
+                (envelope, request.target, trace, t_arrival, jseq)
+            )
         self.counters.inc("accepted")
         self._m_accepted.inc()
         if trace is not None:
@@ -387,7 +488,7 @@ class SimMsgDispatcher:
     # -- CxThread processes ---------------------------------------------------
     def _cx_loop(self):
         while self._running:
-            envelope, path, trace, t_enq = yield self._accept.get()
+            envelope, path, trace, t_enq, jseq = yield self._accept.get()
             t_deq = self.sim.now
             self._m_queue_wait.labels(queue="accept").observe(t_deq - t_enq)
             if trace is not None:
@@ -397,10 +498,11 @@ class SimMsgDispatcher:
                     parent_id=trace.parent_span_id, queue="accept",
                 )
             try:
-                outbound = self._route_one(envelope, path, trace)
+                outbound = self._route_one(envelope, path, trace, journal_seq=jseq)
             except ReproError:
                 self.counters.inc("dropped_unroutable")
                 self._m_dropped.labels(reason="unroutable").inc()
+                self._dead_letter(jseq, "unroutable")
                 log_event(
                     self._log, logging.WARNING, "drop",
                     trace=trace.trace_id if trace else None,
@@ -413,6 +515,7 @@ class SimMsgDispatcher:
                 except ReproError:
                     self.counters.inc("dropped_unroutable")
                     self._m_dropped.labels(reason="unroutable").inc()
+                    self._dead_letter(jseq, "unroutable")
                     continue
                 # WsThreads are bound to *endpoints* (host:port) — every
                 # mailbox on one WS-MsgBox service shares one connection
@@ -424,24 +527,45 @@ class SimMsgDispatcher:
                 # starts shedding load — the backpressure chain a
                 # bounded-queue thread architecture produces.
                 yield store.put(
-                    (path, body, message_id, trace, parent_sid, self.sim.now)
+                    (path, body, message_id, trace, parent_sid, self.sim.now,
+                     jseq)
                 )
                 self._ensure_worker(dest_key, store)
 
     def _route_one(
-        self, envelope: Envelope, path: str, trace: TraceContext | None = None
+        self,
+        envelope: Envelope,
+        path: str,
+        trace: TraceContext | None = None,
+        journal_seq: int | None = None,
     ) -> list[tuple[bytes, str, str | None, str | None]]:
         """Pure routing decision: (bytes, target_url, message_id, route span)."""
         headers = AddressingHeaders.from_envelope(envelope)
         now = self.sim.now
+
+        # duplicate absorption (config.dedupe_window): forward only the
+        # first of an at-least-once upstream's redeliveries
+        if (
+            self._dedupe is not None
+            and headers.message_id
+            and self._dedupe.seen(headers.message_id)
+        ):
+            self.counters.inc("duplicates_suppressed")
+            self._m_duplicates.inc()
+            if journal_seq is not None and self.durable is not None:
+                self.durable.mark(journal_seq, ABSORBED, reason="duplicate")
+            return []
 
         for rel in headers.relates_to:
             corr = self._correlations.pop(rel, None)
             if corr is not None:
                 if corr.expires_at < now:
                     self.counters.inc("expired_correlations")
+                    self._dead_letter(journal_seq, "expired_correlation")
                     return []
-                return self._route_response(envelope, headers, corr, trace)
+                return self._route_response(
+                    envelope, headers, corr, trace, journal_seq=journal_seq
+                )
 
         to_addr = headers.to or path
         try:
@@ -504,6 +628,7 @@ class SimMsgDispatcher:
         headers: AddressingHeaders,
         corr: _SimCorrelation,
         trace: TraceContext | None = None,
+        journal_seq: int | None = None,
     ) -> list[tuple[bytes, str, str | None, str | None]]:
         target = (
             corr.fault_to if envelope.is_fault() and corr.fault_to else corr.reply_to
@@ -513,10 +638,13 @@ class SimMsgDispatcher:
             if waiter is not None and not waiter.triggered:
                 waiter.succeed(envelope)
                 self.counters.inc("bridged_responses")
+                if journal_seq is not None and self.durable is not None:
+                    self.durable.mark(journal_seq, DELIVERED)
             return []
         if target is None or target.is_anonymous:
             self.counters.inc("dropped_no_reply_to")
             self._m_dropped.labels(reason="no_reply_to").inc()
+            self._dead_letter(journal_seq, "no_reply_to")
             return []
         out = envelope.copy()
         new_headers = headers.copy()
@@ -567,6 +695,7 @@ class SimMsgDispatcher:
         message_id: str | None = None,
         trace: TraceContext | None = None,
         parent_span_id: str | None = None,
+        journal_seq: int | None = None,
     ) -> None:
         """Non-blocking enqueue (used off the CxThread path)."""
         try:
@@ -574,14 +703,17 @@ class SimMsgDispatcher:
         except ReproError:
             self.counters.inc("dropped_unroutable")
             self._m_dropped.labels(reason="unroutable").inc()
+            self._dead_letter(journal_seq, "unroutable")
             return
         dest_key = f"{endpoint.host}:{endpoint.port}"
         store = self._dest_store(dest_key)
         if not store.try_put(
-            (path, envelope_bytes, message_id, trace, parent_span_id, self.sim.now)
+            (path, envelope_bytes, message_id, trace, parent_span_id,
+             self.sim.now, journal_seq)
         ):
             self.counters.inc("dropped_destination_queue_full")
             self._m_dropped.labels(reason="destination_queue_full").inc()
+            self._dead_letter(journal_seq, "destination_queue_full")
             return
         self._ensure_worker(dest_key, store)
 
@@ -637,6 +769,7 @@ class SimMsgDispatcher:
         trace: TraceContext | None = None,
         parent_span_id: str | None = None,
         enqueued_at: float | None = None,
+        journal_seq: int | None = None,
     ):
         dest = f"{host}:{port}"
         t_send = self.sim.now
@@ -651,7 +784,7 @@ class SimMsgDispatcher:
                     parent_id=parent_span_id, queue="destination", dest=dest,
                 )
         if self.breakers is not None and not self.breakers.allow(dest):
-            self._breaker_block(dest, path, body, message_id, trace)
+            self._breaker_block(dest, path, body, message_id, trace, journal_seq)
             return
         try:
             response = yield from self.pool.exchange(
@@ -663,7 +796,7 @@ class SimMsgDispatcher:
             self.counters.inc("delivery_failures")
             if self.breakers is not None:
                 self.breakers.record(dest, ok=False)
-            if self._park_failed(dest, path, body, message_id):
+            if self._park_failed(dest, path, body, message_id, journal_seq):
                 self.counters.inc("held_for_retry")
                 log_event(
                     self._log, logging.DEBUG, "hold",
@@ -672,6 +805,7 @@ class SimMsgDispatcher:
                 )
                 return
             self._m_dropped.labels(reason="delivery_failure").inc()
+            self._dead_letter(journal_seq, "delivery_failure")
             log_event(
                 self._log, logging.WARNING, "drop",
                 trace=trace.trace_id if trace else None,
@@ -683,6 +817,8 @@ class SimMsgDispatcher:
             self.breakers.record(dest, ok=True)
         if self.hold_store is not None and message_id is not None:
             self.hold_store.complete(message_id)
+        if self.durable is not None and journal_seq is not None:
+            self.durable.mark(journal_seq, DELIVERED)
         self.counters.inc("delivered")
         self._m_delivered.inc()
         self._m_transmit.observe(t_done - t_send)
@@ -711,10 +847,10 @@ class SimMsgDispatcher:
         dest = f"{host}:{port}"
         t_burst = self.sim.now
         if self.breakers is not None and not self.breakers.allow(dest):
-            for path, body, message_id, trace, *_rest in batch:
-                self._breaker_block(dest, path, body, message_id, trace)
+            for path, body, message_id, trace, _sid, _enq, jseq in batch:
+                self._breaker_block(dest, path, body, message_id, trace, jseq)
             return
-        for path, body, message_id, trace, parent_sid, enqueued_at in batch:
+        for path, body, message_id, trace, parent_sid, enqueued_at, _jseq in batch:
             if enqueued_at is not None:
                 self._m_queue_wait.labels(queue="destination").observe(
                     t_burst - enqueued_at
@@ -743,13 +879,15 @@ class SimMsgDispatcher:
                     dest=dest, size=len(batch),
                 )
         for item, outcome in zip(batch, outcomes):
-            path, body, message_id, trace, parent_sid, _enq = item
+            path, body, message_id, trace, parent_sid, _enq, jseq = item
             ok = isinstance(outcome, HttpResponse) and outcome.status < 400
             if self.breakers is not None:
                 self.breakers.record(dest, ok)
             if ok:
                 if self.hold_store is not None and message_id is not None:
                     self.hold_store.complete(message_id)
+                if self.durable is not None and jseq is not None:
+                    self.durable.mark(jseq, DELIVERED)
                 self.counters.inc("delivered")
                 self._m_delivered.inc()
                 self._m_transmit.observe(t_done - t_burst)
@@ -769,7 +907,7 @@ class SimMsgDispatcher:
                 )
             else:
                 self.counters.inc("delivery_failures")
-                if self._park_failed(dest, path, body, message_id):
+                if self._park_failed(dest, path, body, message_id, jseq):
                     self.counters.inc("held_for_retry")
                     log_event(
                         self._log, logging.DEBUG, "hold",
@@ -778,6 +916,7 @@ class SimMsgDispatcher:
                     )
                     continue
                 self._m_dropped.labels(reason="delivery_failure").inc()
+                self._dead_letter(jseq, "delivery_failure")
                 log_event(
                     self._log, logging.WARNING, "drop",
                     trace=trace.trace_id if trace else None,
@@ -786,7 +925,12 @@ class SimMsgDispatcher:
 
     # -- hold/retry + breaker wiring ----------------------------------------
     def _park_failed(
-        self, dest: str, path: str, body: bytes, message_id: str | None
+        self,
+        dest: str,
+        path: str,
+        body: bytes,
+        message_id: str | None,
+        journal_seq: int | None = None,
     ) -> bool:
         """Park a failed delivery in the hold store; True when parked.
 
@@ -794,7 +938,9 @@ class SimMsgDispatcher:
         rescheduled — its attempt was counted at claim time; a fresh
         message is held under its MessageID.  Messages without a
         MessageID cannot be deduplicated on redelivery, so they are never
-        parked.
+        parked.  When the hold store journals its own ``held`` record,
+        the inbound record is retired (absorbed) so a crash replays the
+        message from exactly one record.
         """
         if self.hold_store is None or message_id is None:
             return False
@@ -802,6 +948,12 @@ class SimMsgDispatcher:
             self.hold_store.reschedule(message_id, now=self.sim.now)
         else:
             self.hold_store.hold(message_id, f"http://{dest}{path}", body)
+            if (
+                self.durable is not None
+                and journal_seq is not None
+                and getattr(self.hold_store, "durable", None) is not None
+            ):
+                self.durable.mark(journal_seq, ABSORBED, reason="held")
         self._ensure_hold_pump()
         return True
 
@@ -812,10 +964,11 @@ class SimMsgDispatcher:
         body: bytes,
         message_id: str | None,
         trace: TraceContext | None,
+        journal_seq: int | None = None,
     ) -> None:
         """An open breaker refused the delivery: park instead of burning a
         connect timeout against the dead destination."""
-        if self._park_failed(dest, path, body, message_id):
+        if self._park_failed(dest, path, body, message_id, journal_seq):
             self.counters.inc("held_breaker_open")
             log_event(
                 self._log, logging.DEBUG, "hold",
@@ -825,6 +978,7 @@ class SimMsgDispatcher:
             return
         self.counters.inc("dropped_breaker_open")
         self._m_dropped.labels(reason="breaker_open").inc()
+        self._dead_letter(journal_seq, "breaker_open")
         log_event(
             self._log, logging.WARNING, "drop",
             trace=trace.trace_id if trace else None,
@@ -860,7 +1014,8 @@ class SimMsgDispatcher:
         dest_key = f"{endpoint.host}:{endpoint.port}"
         store = self._dest_store(dest_key)
         if not store.try_put(
-            (path, msg.envelope_bytes, msg.message_id, None, None, self.sim.now)
+            (path, msg.envelope_bytes, msg.message_id, None, None, self.sim.now,
+             None)
         ):
             self.hold_store.reschedule(msg.message_id, now=self.sim.now)
             return
@@ -900,10 +1055,18 @@ class SimMsgDispatcher:
             if trace is not None and parent_span_id
             else trace
         )
+        jseq: int | None = None
+        if self.durable is not None:
+            # a synthesised response is a fresh inbound message
+            jseq = self.durable.append(
+                None, self.mount_prefix, envelope.to_bytes(), kind="inbound"
+            )
         if self._accept.try_put(
-            (envelope, self.mount_prefix, in_trace, self.sim.now)
+            (envelope, self.mount_prefix, in_trace, self.sim.now, jseq)
         ):
             self.counters.inc("inband_responses")
+        elif jseq is not None:
+            self.durable.mark(jseq, ABSORBED, reason="rejected")
 
     # -- sync-over-async bridge (Table 1 quadrant 2) ------------------------
     def bridge_handler(
@@ -995,4 +1158,10 @@ class SimMsgDispatcher:
         if self.hold_store is not None:
             snapshot["hold_store"] = dict(self.hold_store.stats)
             snapshot["hold_store"]["pending"] = self.hold_store.pending()
+        if self.durable is not None:
+            snapshot["journal"] = dict(
+                self.durable.stats,
+                pending=self.durable.pending_count(),
+                dead=self.durable.counts().get(DEAD, 0),
+            )
         return snapshot

@@ -176,3 +176,7 @@ class OverloadedError(ReproError):
     def __init__(self, message: str, retry_after: float = 1.0) -> None:
         super().__init__(message)
         self.retry_after = retry_after
+
+
+class JournalError(ReproError):
+    """The durable message journal rejected an operation or is unusable."""

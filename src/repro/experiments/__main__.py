@@ -16,7 +16,15 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.experiments import ablations, chaos, fig4, fig5, fig6, table1
+from repro.experiments import (
+    ablations,
+    chaos,
+    crashrecovery,
+    fig4,
+    fig5,
+    fig6,
+    table1,
+)
 from repro.workload.results import render_ascii_plot
 
 
@@ -36,6 +44,7 @@ def main(argv: list[str] | None = None) -> int:
         choices=[
             "fig4", "fig5", "fig6", "table1",
             "msgbox-bug", "pool-sizing", "batching", "reliability", "chaos",
+            "crash-recovery",
         ],
     )
     parser.add_argument(
@@ -98,6 +107,11 @@ def main(argv: list[str] | None = None) -> int:
         report = chaos.run(messages=messages)
         print(report.render())
         failures = chaos.check_shape(report)
+    elif name == "crash-recovery":
+        messages = counts[0] if counts else 80
+        report = crashrecovery.run(messages=messages)
+        print(report.render())
+        failures = crashrecovery.check_shape(report)
     else:  # reliability
         report = ablations.reliability()
         print(report.render())

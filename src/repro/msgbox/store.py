@@ -4,7 +4,11 @@ The paper's WS-MsgBox held messages in memory until the client fetched
 them and freed "memory space in the WS-MsgBox service implementation" on
 destroy.  This store adds the quotas the original lacked (per-mailbox
 message/byte limits, global mailbox limit) because unbounded buffering is
-exactly what made the original fragile.
+exactly what made the original fragile.  Passing ``durable=`` a
+:class:`~repro.store.MessageJournal` additionally journals every deposit
+before it is acknowledged and marks it on take, so a crash loses no
+undelivered mailbox contents — :meth:`MailboxStore.recover` rebuilds the
+mailboxes from the journal.
 """
 
 from __future__ import annotations
@@ -12,10 +16,15 @@ from __future__ import annotations
 import collections
 import threading
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import MailboxNotFound, MailboxQuotaExceeded
+from repro.store.journal import ABSORBED, DEAD, DELIVERED
 from repro.util.clock import Clock, MonotonicClock
 from repro.util.ids import IdGenerator
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.store import MessageJournal
 
 
 @dataclass
@@ -25,6 +34,8 @@ class StoredMessage:
     data: bytes
     deposited_at: float
     expires_at: float | None = None
+    #: sequence number in the durable journal, when there is one
+    journal_seq: int | None = None
 
 
 @dataclass
@@ -50,6 +61,7 @@ class MailboxStore:
         message_ttl: float | None = None,
         clock: Clock | None = None,
         ids: IdGenerator | None = None,
+        durable: "MessageJournal | None" = None,
     ) -> None:
         self.max_mailboxes = max_mailboxes
         self.max_messages_per_box = max_messages_per_box
@@ -57,6 +69,7 @@ class MailboxStore:
         self.message_ttl = message_ttl
         self.clock = clock or MonotonicClock()
         self._ids = ids or IdGenerator("mb")
+        self.durable = durable
         self._boxes: dict[str, _Mailbox] = {}
         self._lock = threading.Lock()
         self._arrival = threading.Condition(self._lock)
@@ -75,8 +88,18 @@ class MailboxStore:
 
     def destroy(self, mailbox_id: str) -> None:
         with self._lock:
-            if self._boxes.pop(mailbox_id, None) is None:
+            box = self._boxes.pop(mailbox_id, None)
+            if box is None:
                 raise MailboxNotFound(mailbox_id)
+            remaining = list(box.messages)
+        if self.durable is not None:
+            # the client chose to discard what was left; retire the
+            # records so recovery does not resurrect a destroyed mailbox
+            for msg in remaining:
+                if msg.journal_seq is not None:
+                    self.durable.mark(
+                        msg.journal_seq, ABSORBED, reason="mailbox_destroyed"
+                    )
 
     def exists(self, mailbox_id: str) -> bool:
         with self._lock:
@@ -85,24 +108,43 @@ class MailboxStore:
     # -- deposit / take (Fig. 2: steps 2 and 3) -----------------------------
     def deposit(self, mailbox_id: str, data: bytes) -> None:
         now = self.clock.now()
-        with self._lock:
-            box = self._boxes.get(mailbox_id)
-            if box is None:
-                raise MailboxNotFound(mailbox_id)
-            self._expire(box, now)
-            if len(box.messages) >= self.max_messages_per_box:
-                raise MailboxQuotaExceeded(
-                    f"mailbox {mailbox_id[:8]}… message quota exceeded"
+        jseq: int | None = None
+        if self.durable is not None:
+            # journal before ack (and before the quota checks — a rejected
+            # deposit is retired below, an accepted one survives a crash)
+            jseq = self.durable.append(
+                None, mailbox_id, data, kind="mailbox",
+                expires_at=(
+                    self.durable.wall_now() + self.message_ttl
+                    if self.message_ttl
+                    else None
+                ),
+            )
+        try:
+            with self._lock:
+                box = self._boxes.get(mailbox_id)
+                if box is None:
+                    raise MailboxNotFound(mailbox_id)
+                self._expire(box, now)
+                if len(box.messages) >= self.max_messages_per_box:
+                    raise MailboxQuotaExceeded(
+                        f"mailbox {mailbox_id[:8]}… message quota exceeded"
+                    )
+                if box.bytes_used + len(data) > self.max_bytes_per_box:
+                    raise MailboxQuotaExceeded(
+                        f"mailbox {mailbox_id[:8]}… byte quota exceeded"
+                    )
+                expires = now + self.message_ttl if self.message_ttl else None
+                box.messages.append(
+                    StoredMessage(data, now, expires, journal_seq=jseq)
                 )
-            if box.bytes_used + len(data) > self.max_bytes_per_box:
-                raise MailboxQuotaExceeded(
-                    f"mailbox {mailbox_id[:8]}… byte quota exceeded"
-                )
-            expires = now + self.message_ttl if self.message_ttl else None
-            box.messages.append(StoredMessage(data, now, expires))
-            box.bytes_used += len(data)
-            box.deposits += 1
-            self._arrival.notify_all()
+                box.bytes_used += len(data)
+                box.deposits += 1
+                self._arrival.notify_all()
+        except (MailboxNotFound, MailboxQuotaExceeded):
+            if jseq is not None:
+                self.durable.mark(jseq, ABSORBED, reason="rejected")
+            raise
 
     def take(self, mailbox_id: str, max_messages: int = 10) -> list[bytes]:
         """Remove and return up to ``max_messages`` oldest messages."""
@@ -115,12 +157,18 @@ class MailboxStore:
                 raise MailboxNotFound(mailbox_id)
             self._expire(box, now)
             out: list[bytes] = []
+            taken_seqs: list[int] = []
             while box.messages and len(out) < max_messages:
                 msg = box.messages.popleft()
                 box.bytes_used -= len(msg.data)
+                if msg.journal_seq is not None:
+                    taken_seqs.append(msg.journal_seq)
                 out.append(msg.data)
             box.takes += 1
-            return out
+        if self.durable is not None:
+            for seq in taken_seqs:
+                self.durable.mark(seq, DELIVERED)
+        return out
 
     def wait_for_message(self, mailbox_id: str, timeout: float) -> bool:
         """Block until the mailbox has a message (long-poll support).
@@ -152,14 +200,54 @@ class MailboxStore:
             self._expire(box, self.clock.now())
             return len(box.messages)
 
-    @staticmethod
-    def _expire(box: _Mailbox, now: float) -> None:
+    def _expire(self, box: _Mailbox, now: float) -> None:
         while box.messages:
             head = box.messages[0]
             if head.expires_at is None or head.expires_at > now:
                 break
             box.messages.popleft()
             box.bytes_used -= len(head.data)
+            if self.durable is not None and head.journal_seq is not None:
+                self.durable.mark(head.journal_seq, DEAD, reason="expired")
+
+    # -- crash recovery ----------------------------------------------------
+    def recover(self) -> int:
+        """Rebuild mailboxes and their undelivered contents from the
+        journal (idempotent: already-present records are skipped).
+
+        Mailboxes are recreated under their original ids — a client
+        holding a pre-crash mailbox address keeps polling the same URL.
+        Wall-clock expiry deadlines on disk are converted back onto this
+        store's clock; already-expired messages are dead-lettered.
+        Returns the number of messages restored.
+        """
+        if self.durable is None:
+            return 0
+        wall = self.durable.wall_now()
+        now = self.clock.now()
+        restored = 0
+        for rec in self.durable.undelivered(kind="mailbox"):
+            expires: float | None = None
+            if rec.expires_at is not None:
+                remaining = rec.expires_at - wall
+                if remaining <= 0:
+                    self.durable.mark(rec.seq, DEAD, reason="expired")
+                    continue
+                expires = now + remaining
+            with self._lock:
+                box = self._boxes.get(rec.target)
+                if box is None:
+                    box = _Mailbox(rec.target, now)
+                    self._boxes[rec.target] = box
+                if any(m.journal_seq == rec.seq for m in box.messages):
+                    continue
+                box.messages.append(
+                    StoredMessage(rec.body, now, expires, journal_seq=rec.seq)
+                )
+                box.bytes_used += len(rec.body)
+                self._arrival.notify_all()
+            restored += 1
+        return restored
 
     # -- introspection -----------------------------------------------------
     def mailbox_count(self) -> int:

@@ -12,6 +12,9 @@ dict sources (what :class:`~repro.core.status.StatusPage` used to scrape)
   view, which also embeds the component sources and trace-store summary.
 - ``GET /trace/<id>`` — one trace as JSON (span list + wall time);
   ``?format=text`` renders the ASCII timeline instead.
+- ``GET /deadletters`` — the dead-letter queues of every registered
+  durable journal: totals, counts by reason, and the most recent poison
+  messages.
 
 Component sources keep working so existing deployments lose nothing: a
 source is anything with a ``stats`` dict property or a callable returning
@@ -66,6 +69,7 @@ class Introspection:
         self._lock = threading.Lock()
         self._sources: dict[str, Callable[[], dict]] = {}
         self._health_sources: dict[str, Callable[[], dict]] = {}
+        self._deadletter_sources: dict[str, Callable[[], dict]] = {}
 
     # -- breaker / overload health ----------------------------------------
     def add_health_source(self, name: str, fetch: Callable[[], dict]) -> None:
@@ -81,6 +85,28 @@ class Introspection:
     def health_snapshot(self) -> dict[str, dict]:
         with self._lock:
             sources = list(self._health_sources.items())
+        out: dict[str, dict] = {}
+        for name, fetch in sources:
+            try:
+                out[name] = dict(fetch())
+            except Exception as exc:  # noqa: BLE001 - a broken source is data
+                out[name] = {"error": repr(exc)}
+        return out
+
+    # -- dead-letter queue --------------------------------------------------
+    def add_deadletter_source(self, name: str, fetch: Callable[[], dict]) -> None:
+        """Register a dead-letter feed (e.g. a
+        :meth:`~repro.store.MessageJournal.deadletter_snapshot` bound
+        method): counts by reason plus the most recent poison messages.
+        Rendered as ``GET /deadletters``."""
+        with self._lock:
+            if name in self._deadletter_sources:
+                raise ValueError(f"deadletter source {name!r} already registered")
+            self._deadletter_sources[name] = fetch
+
+    def deadletters_snapshot(self) -> dict[str, dict]:
+        with self._lock:
+            sources = list(self._deadletter_sources.items())
         out: dict[str, dict] = {}
         for name, fetch in sources:
             try:
@@ -147,6 +173,9 @@ class Introspection:
         health = self.health_snapshot()
         if health:
             snapshot["health"] = health
+        deadletters = self.deadletters_snapshot()
+        if deadletters:
+            snapshot["deadletters"] = deadletters
         return snapshot
 
     def render_prometheus(self) -> str:
@@ -199,14 +228,19 @@ class Introspection:
     def health_handler(self, request: HttpRequest) -> HttpResponse:
         return _json_response(self.health_snapshot())
 
+    def deadletters_handler(self, request: HttpRequest) -> HttpResponse:
+        return _json_response(self.deadletters_snapshot())
+
     def mount(
         self,
         app,
         metrics_path: str = "/metrics",
         trace_path: str = "/trace",
         health_path: str = "/health",
+        deadletters_path: str = "/deadletters",
     ) -> None:
         """Mount the endpoints on a :class:`~repro.rt.service.SoapHttpApp`."""
         app.mount_page(metrics_path, self.metrics_handler)
         app.mount_page(trace_path, self.trace_handler)
         app.mount_page(health_path, self.health_handler)
+        app.mount_page(deadletters_path, self.deadletters_handler)

@@ -2,22 +2,33 @@
 
 The store holds messages that could not be delivered, redelivers them on a
 policy-driven schedule, and expires them after a deadline (the paper:
-"messages stored in DB with expiration time").  Persistence is pluggable
-through the same text-file map the registry uses; in-memory is the
-default.  Because redelivery makes duplicates possible, the receiving side
-pairs it with :class:`DuplicateFilter`, which suppresses repeated
-``wsa:MessageID`` values inside a sliding window.
+"messages stored in DB with expiration time").  In-memory is the default;
+passing ``durable=`` a :class:`~repro.store.MessageJournal` makes held
+messages survive a crash — they are journaled on intake, marked on
+delivery, dead-lettered on expiry, and :meth:`HoldRetryStore.restore`
+reloads the survivors on restart.  Expiry deadlines are kept on the
+store's own clock in memory but on the journal's wall clock on disk,
+because monotonic clocks restart from an arbitrary zero and would
+resurrect long-dead deadlines.  Because redelivery makes duplicates
+possible, the receiving side pairs it with :class:`DuplicateFilter`,
+which suppresses repeated ``wsa:MessageID`` values inside a sliding
+window.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.errors import DeliveryExpired
 from repro.reliable.policy import RetryPolicy, ExponentialBackoff
+from repro.store.journal import DEAD, DELIVERED
 from repro.util.clock import Clock, MonotonicClock
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.obs.metrics import MetricsRegistry
+    from repro.store import MessageJournal
 
 
 @dataclass
@@ -30,6 +41,8 @@ class HeldMessage:
     expires_at: float
     attempts: int = 0
     next_attempt_at: float = 0.0
+    #: sequence number in the durable journal, when there is one
+    journal_seq: int | None = None
 
 
 @dataclass
@@ -38,6 +51,7 @@ class _StoreStats:
     delivered: int = 0
     expired: int = 0
     attempts: int = 0
+    restored: int = 0
 
 
 class HoldRetryStore:
@@ -54,11 +68,22 @@ class HoldRetryStore:
         policy: RetryPolicy | None = None,
         default_ttl: float = 300.0,
         clock: Clock | None = None,
+        durable: "MessageJournal | None" = None,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         self._deliver = deliver
         self.policy = policy or ExponentialBackoff(jitter=True)
         self.default_ttl = default_ttl
         self.clock = clock or MonotonicClock()
+        self._durable = durable
+        self._m_dead = (
+            metrics.counter(
+                "dispatcher_deadletter_total",
+                "Messages moved to the dead-letter queue, by reason",
+            )
+            if metrics is not None
+            else None
+        )
         self._held: dict[str, HeldMessage] = {}
         #: MessageIDs claimed by take_due() and not yet resolved — the
         #: expiry scan must not touch these, or a message whose redelivery
@@ -72,6 +97,17 @@ class HoldRetryStore:
         where the dispatcher itself is the deliverer)."""
         self._deliver = deliver
 
+    @property
+    def durable(self) -> "MessageJournal | None":
+        """The backing journal, or None for a memory-only store."""
+        return self._durable
+
+    def _dead_letter(self, msg: HeldMessage, reason: str) -> None:
+        if self._durable is not None and msg.journal_seq is not None:
+            self._durable.mark(msg.journal_seq, DEAD, reason=reason)
+        if self._m_dead is not None:
+            self._m_dead.labels(reason=reason).inc()
+
     # -- intake ----------------------------------------------------------
     def hold(
         self,
@@ -82,6 +118,7 @@ class HoldRetryStore:
     ) -> HeldMessage:
         """Accept a message for later delivery (idempotent per MessageID)."""
         now = self.clock.now()
+        ttl_s = ttl if ttl is not None else self.default_ttl
         with self._lock:
             existing = self._held.get(message_id)
             if existing is not None:
@@ -90,12 +127,23 @@ class HoldRetryStore:
                 message_id=message_id,
                 target_url=target_url,
                 envelope_bytes=envelope_bytes,
-                expires_at=now + (ttl if ttl is not None else self.default_ttl),
+                expires_at=now + ttl_s,
                 next_attempt_at=now,
             )
             self._held[message_id] = msg
             self._stats.held += 1
-            return msg
+        if self._durable is not None:
+            # Journaled outside the lock — a group commit may block.  The
+            # deadline is recorded on the journal's wall clock so it still
+            # means something after a restart (the store clock does not).
+            msg.journal_seq = self._durable.append(
+                message_id,
+                target_url,
+                envelope_bytes,
+                kind="held",
+                expires_at=self._durable.wall_now() + ttl_s,
+            )
+        return msg
 
     # -- claim API ----------------------------------------------------------
     # The split-phase protocol external drivers (dispatchers, simulation
@@ -122,10 +170,13 @@ class HoldRetryStore:
                 if msg.expires_at <= now:
                     del self._held[mid]
                     self._stats.expired += 1
+                    self._dead_letter(msg, "expired")
                     continue
                 if msg.next_attempt_at <= now:
                     msg.attempts += 1
                     self._stats.attempts += 1
+                    if self._durable is not None and msg.journal_seq is not None:
+                        self._durable.note_attempt(msg.journal_seq)
                     self._inflight.add(mid)
                     due.append(msg)
         return due
@@ -136,10 +187,13 @@ class HoldRetryStore:
         taken)."""
         with self._lock:
             self._inflight.discard(message_id)
-            if self._held.pop(message_id, None) is None:
+            msg = self._held.pop(message_id, None)
+            if msg is None:
                 return False
             self._stats.delivered += 1
-            return True
+        if self._durable is not None and msg.journal_seq is not None:
+            self._durable.mark(msg.journal_seq, DELIVERED)
+        return True
 
     def reschedule(self, message_id: str, now: float | None = None) -> bool:
         """Resolve a claim as failed: re-queue per policy, or expire when
@@ -155,6 +209,10 @@ class HoldRetryStore:
             if msg.expires_at <= now or not self.policy.should_retry(msg.attempts):
                 del self._held[message_id]
                 self._stats.expired += 1
+                self._dead_letter(
+                    msg,
+                    "expired" if msg.expires_at <= now else "retries_exhausted",
+                )
                 return False
             msg.next_attempt_at = now + self.policy.delay_before(msg.attempts + 1)
             return True
@@ -162,6 +220,49 @@ class HoldRetryStore:
     def is_held(self, message_id: str) -> bool:
         with self._lock:
             return message_id in self._held
+
+    # -- recovery ------------------------------------------------------------
+    def restore(self) -> int:
+        """Reload undelivered held messages from the journal (idempotent).
+
+        Wall-clock deadlines on disk are converted back to deadlines on
+        this store's clock (``remaining = expires_at - wall_now()``), so a
+        restart neither extends nor truncates a message's TTL.  Records
+        whose deadline passed while the process was down are dead-lettered
+        here rather than resurrected.  Returns the number restored.
+        """
+        if self._durable is None:
+            return 0
+        wall = self._durable.wall_now()
+        now = self.clock.now()
+        restored = 0
+        for rec in self._durable.undelivered(kind="held"):
+            remaining = (
+                rec.expires_at - wall
+                if rec.expires_at is not None
+                else self.default_ttl
+            )
+            msg = HeldMessage(
+                message_id=rec.message_id,
+                target_url=rec.target,
+                envelope_bytes=rec.body,
+                expires_at=now + remaining,
+                attempts=rec.attempts,
+                next_attempt_at=now,
+                journal_seq=rec.seq,
+            )
+            if remaining <= 0:
+                self._stats.expired += 1
+                self._dead_letter(msg, "expired")
+                continue
+            with self._lock:
+                if rec.message_id in self._held:
+                    continue
+                self._held[rec.message_id] = msg
+                self._stats.held += 1
+                self._stats.restored += 1
+            restored += 1
+        return restored
 
     # -- pump ---------------------------------------------------------------
     def pump(self) -> dict[str, int]:
@@ -215,6 +316,7 @@ class HoldRetryStore:
                 "delivered": self._stats.delivered,
                 "expired": self._stats.expired,
                 "attempts": self._stats.attempts,
+                "restored": self._stats.restored,
             }
 
 

@@ -61,12 +61,19 @@ class HttpClient:
         pool_per_endpoint: int = 4,
         user_agent: str = "repro-client/1.0",
         metrics: MetricsRegistry | None = None,
+        overload_retries: int = 0,
+        retry_after_cap: float = 30.0,
     ) -> None:
         self._connector = connector
         self.connect_timeout = connect_timeout
         self.response_timeout = response_timeout
         self._pool_per_endpoint = pool_per_endpoint
         self._user_agent = user_agent
+        #: how many times :meth:`request` re-sends after a 503 that names
+        #: a ``Retry-After`` delay (0 = return the 503 to the caller)
+        self.overload_retries = overload_retries
+        #: never sleep longer than this per 503, whatever the server asks
+        self.retry_after_cap = retry_after_cap
         self._pools: dict[Endpoint, list[Stream]] = {}
         self._lock = threading.Lock()
         self._closed = False
@@ -92,6 +99,10 @@ class HttpClient:
         self._m_pipeline_replayed = registry.counter(
             "rt_client_pipeline_replayed_total",
             "pipelined requests replayed serially after a cut-short burst",
+        )
+        self._m_overload_waits = registry.counter(
+            "rt_client_overload_waits_total",
+            "503 responses the client slept out per the server's Retry-After",
         )
 
     # -- connection pool -------------------------------------------------
@@ -151,10 +162,36 @@ class HttpClient:
         """Send one request to ``url``'s endpoint and read the response.
 
         The request's ``target`` is overwritten with the URL's path.
-        Retries exactly once on a stale pooled connection.
+        Retries exactly once on a stale pooled connection.  With
+        ``overload_retries > 0`` a 503 carrying ``Retry-After`` is slept
+        out (capped at ``retry_after_cap``) and the request re-sent, up to
+        that many times; the final response is returned either way.
         """
         endpoint = self.prepare(url, request)
-        return self._request_prepared(endpoint, request)
+        response = self._request_prepared(endpoint, request)
+        for _ in range(self.overload_retries):
+            if response.status != 503:
+                break
+            delay = self._retry_after_of(response)
+            if delay is None:
+                break
+            self._m_overload_waits.inc()
+            time.sleep(min(delay, self.retry_after_cap))
+            response = self._request_prepared(endpoint, request)
+        return response
+
+    @staticmethod
+    def _retry_after_of(response: HttpResponse) -> float | None:
+        """Parse a delay-seconds ``Retry-After`` header (None if absent,
+        unparsable, or negative; HTTP-date form is not supported)."""
+        raw = response.headers.get("Retry-After")
+        if raw is None:
+            return None
+        try:
+            delay = float(raw.strip())
+        except ValueError:
+            return None
+        return delay if delay >= 0 else None
 
     def _request_prepared(
         self, endpoint: Endpoint, request: HttpRequest

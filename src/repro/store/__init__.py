@@ -1,0 +1,27 @@
+"""Durable store-and-forward: the write-ahead message journal.
+
+The paper's future-work list puts the dispatcher's reliability story in a
+database ("messages stored in DB with expiration time"); this package is
+that database.  :class:`MessageJournal` is an append-only SQLite journal
+of every message a durable component has accepted responsibility for —
+see :mod:`repro.store.journal` for the state machine, the group-commit
+write path, and the dead-letter queue.
+"""
+
+from repro.store.journal import (
+    ABSORBED,
+    DEAD,
+    DELIVERED,
+    ENQUEUED,
+    JournalRecord,
+    MessageJournal,
+)
+
+__all__ = [
+    "ABSORBED",
+    "DEAD",
+    "DELIVERED",
+    "ENQUEUED",
+    "JournalRecord",
+    "MessageJournal",
+]

@@ -282,7 +282,7 @@ class TestSimPipelinedDrain:
             msg = make_echo_message(to="urn:wsd:echo", message_id=ids.next())
             trace = TraceContext(f"sim-pipe-{i}") if traced else None
             traces.append(trace)
-            assert disp._accept.try_put((msg, "/msg/echo", trace, 0.0))
+            assert disp._accept.try_put((msg, "/msg/echo", trace, 0.0, None))
         return traces
 
     def test_backlog_drains_as_pipelined_bursts(self, sim):

@@ -149,4 +149,40 @@ class TestMount:
 
         intro = make_introspection()
         intro.mount(FakeApp())
-        assert set(mounted) == {"/metrics", "/trace", "/health"}
+        assert set(mounted) == {"/metrics", "/trace", "/health", "/deadletters"}
+
+
+class TestDeadletters:
+    def test_deadletters_page_renders_journal_snapshots(self):
+        from repro.store import DEAD, MessageJournal
+
+        intro = make_introspection()
+        journal = MessageJournal(sync="lazy", flush_threshold=1)
+        seq = journal.append("m1", "/msg/echo", b"<x/>")
+        journal.mark(seq, DEAD, reason="expired")
+        intro.add_deadletter_source("msgd", journal.deadletter_snapshot)
+        payload = json.loads(intro.deadletters_handler(get("/deadletters")).body)
+        assert payload["msgd"]["total"] == 1
+        assert payload["msgd"]["by_reason"] == {"expired": 1}
+        assert payload["msgd"]["recent"][0]["message_id"] == "m1"
+        # and the JSON metrics snapshot grows a deadletters section
+        assert intro.json_snapshot()["deadletters"]["msgd"]["total"] == 1
+        journal.close()
+
+    def test_duplicate_source_rejected_and_errors_captured(self):
+        intro = make_introspection()
+        intro.add_deadletter_source("msgd", lambda: {"total": 0})
+        try:
+            intro.add_deadletter_source("msgd", lambda: {})
+        except ValueError:
+            pass
+        else:  # pragma: no cover - the assert below fails loudly
+            raise AssertionError("duplicate source name not rejected")
+
+        def broken():
+            raise RuntimeError("journal gone")
+
+        intro.add_deadletter_source("broken", broken)
+        snapshot = intro.deadletters_snapshot()
+        assert snapshot["msgd"] == {"total": 0}
+        assert "journal gone" in snapshot["broken"]["error"]

@@ -130,6 +130,7 @@ class TestHoldRetryStore:
             "delivered": 1,
             "expired": 0,
             "attempts": 1,
+            "restored": 0,
         }
 
 

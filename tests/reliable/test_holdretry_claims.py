@@ -33,7 +33,7 @@ def test_claimed_message_is_invisible_to_expiry_scan():
     # the in-flight delivery lands: delivered once, expired never
     assert store.complete("m1") is True
     assert store.stats == {
-        "held": 1, "delivered": 1, "expired": 0, "attempts": 1
+        "held": 1, "delivered": 1, "expired": 0, "attempts": 1, "restored": 0
     }
     assert store.pending() == 0
 
@@ -49,7 +49,7 @@ def test_reschedule_after_ttl_expires_exactly_once():
     assert store.complete("m1") is False
     assert store.reschedule("m1", now=clock.now()) is False
     assert store.stats == {
-        "held": 1, "delivered": 0, "expired": 1, "attempts": 1
+        "held": 1, "delivered": 0, "expired": 1, "attempts": 1, "restored": 0
     }
 
 

@@ -1,0 +1,44 @@
+"""Child process for the SIGKILL crash test.
+
+Runs a durable threaded MSG-Dispatcher on a real TCP port, routing
+``echo`` to the sink URL the parent passes in.  Prints its own port and
+then idles forever — the parent kills it with SIGKILL mid-drain.
+
+Usage: python _crash_child.py <journal_path> <sink_port>
+"""
+
+import sys
+import time
+
+from repro.core.msg_dispatcher import MsgDispatcher, MsgDispatcherConfig
+from repro.core.registry import ServiceRegistry
+from repro.rt.client import HttpClient
+from repro.rt.server import HttpServer
+from repro.rt.service import SoapHttpApp
+from repro.store import MessageJournal
+from repro.transport.tcp import TcpConnector, TcpListener
+
+
+def main() -> None:
+    journal_path, sink_port = sys.argv[1], int(sys.argv[2])
+    registry = ServiceRegistry()
+    registry.register("echo", f"http://127.0.0.1:{sink_port}/echo")
+    journal = MessageJournal(journal_path, sync="always")
+    dispatcher = MsgDispatcher(
+        registry,
+        HttpClient(TcpConnector()),
+        own_address="http://127.0.0.1:0/msg",
+        config=MsgDispatcherConfig(cx_threads=2, ws_threads=1),
+        durable=journal,
+    )
+    app = SoapHttpApp()
+    app.mount("/msg", dispatcher)
+    listener = TcpListener("127.0.0.1:0")
+    HttpServer(listener, app.handle_request, workers=4).start()
+    print(listener.endpoint.port, flush=True)
+    while True:
+        time.sleep(1.0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,189 @@
+"""Unit tests for the durable message journal."""
+
+import threading
+
+import pytest
+
+from repro.errors import JournalError
+from repro.store import (
+    ABSORBED,
+    DEAD,
+    DELIVERED,
+    ENQUEUED,
+    MessageJournal,
+)
+
+
+@pytest.fixture
+def journal():
+    with MessageJournal(sync="lazy", flush_threshold=10_000) as j:
+        yield j
+
+
+def test_append_returns_monotonic_seqs(journal):
+    seqs = [journal.append(f"m{i}", "/msg/echo", b"<x/>") for i in range(5)]
+    assert seqs == [1, 2, 3, 4, 5]
+    assert journal.pending_count() == 5
+
+
+def test_append_synthesizes_message_id_when_none(journal):
+    seq = journal.append(None, "/msg/echo", b"<x/>")
+    rec = journal.get(seq)
+    assert rec.message_id == f"jrnl:{seq}"
+
+
+def test_state_machine_and_sticky_terminal_marks(journal):
+    seq = journal.append("m1", "/msg/echo", b"<x/>")
+    assert journal.get(seq).state == ENQUEUED
+    journal.mark(seq, DELIVERED)
+    assert journal.get(seq).state == DELIVERED
+    # a conflicting later mark is a no-op: terminal states never change
+    journal.mark(seq, DEAD, reason="late")
+    rec = journal.get(seq)
+    assert rec.state == DELIVERED
+    assert rec.reason is None
+
+
+def test_mark_rejects_non_terminal_state(journal):
+    seq = journal.append("m1", "/msg/echo", b"<x/>")
+    with pytest.raises(JournalError):
+        journal.mark(seq, ENQUEUED)
+    with pytest.raises(JournalError):
+        journal.mark(seq, "exploded")
+
+
+def test_append_on_closed_journal_raises():
+    j = MessageJournal()
+    j.close()
+    with pytest.raises(JournalError):
+        j.append("m1", "/msg/echo", b"<x/>")
+
+
+def test_unknown_sync_mode_rejected():
+    with pytest.raises(JournalError):
+        MessageJournal(sync="sometimes")
+
+
+def test_undelivered_filters_by_kind_and_orders_by_seq(journal):
+    journal.append("m1", "/msg/echo", b"<a/>", kind="inbound")
+    journal.append("m2", "box-1", b"<b/>", kind="mailbox")
+    journal.append("m3", "/msg/echo", b"<c/>", kind="inbound")
+    inbound = journal.undelivered(kind="inbound")
+    assert [r.message_id for r in inbound] == ["m1", "m3"]
+    assert len(journal.undelivered()) == 3
+
+
+def test_group_commit_shares_transactions():
+    """Concurrent appenders pile onto the leader's commit: far fewer
+    commits than appends (the whole point of group commit)."""
+    with MessageJournal(sync="group", group_window=0.005) as j:
+        threads = [
+            threading.Thread(
+                target=lambda i=i: j.append(f"m{i}", "/msg/echo", b"<x/>")
+            )
+            for i in range(32)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(5)
+        stats = j.stats
+        assert stats["appended"] == 32
+        assert stats["commits"] < 32
+        assert j.pending_count() == 32
+
+
+def test_lazy_mode_buffers_until_threshold():
+    with MessageJournal(sync="lazy", flush_threshold=5) as j:
+        for i in range(4):
+            j.append(f"m{i}", "/msg/echo", b"<x/>")
+        assert j.stats["buffered_ops"] == 4
+        j.append("m4", "/msg/echo", b"<x/>")  # hits the threshold
+        assert j.stats["buffered_ops"] == 0
+        assert j.stats["commits"] == 1
+
+
+def test_corrupt_record_skipped_and_dead_lettered(journal):
+    """A torn write (CRC mismatch) must never crash recovery: the record
+    is skipped and surfaces in the dead-letter queue as ``corrupt``."""
+    journal.append("m1", "/msg/echo", b"<ok/>")
+    bad = journal.append("m2", "/msg/echo", b"<ok/>")
+    journal.flush()
+    with journal._db_lock, journal._conn:
+        journal._conn.execute(
+            "UPDATE journal SET body=? WHERE seq=?", (b"<torn", bad)
+        )
+    survivors = journal.undelivered()
+    assert [r.message_id for r in survivors] == ["m1"]
+    assert journal.get(bad).state == DEAD
+    assert journal.dead_counts() == {"corrupt": 1}
+    assert journal.stats["corrupt_skipped"] == 1
+
+
+def test_dead_letter_queries_and_snapshot(journal):
+    s1 = journal.append("m1", "/msg/echo", b"<x/>")
+    s2 = journal.append("m2", "/msg/echo", b"<y/>")
+    journal.append("m3", "/msg/echo", b"<z/>")
+    journal.mark(s1, DEAD, reason="expired")
+    journal.mark(s2, DEAD, reason="unroutable")
+    dead = journal.dead_letters()
+    assert [r.seq for r in dead] == [s2, s1]  # newest first
+    snapshot = journal.deadletter_snapshot()
+    assert snapshot["total"] == 2
+    assert snapshot["by_reason"] == {"expired": 1, "unroutable": 1}
+    assert {e["reason"] for e in snapshot["recent"]} == {"expired", "unroutable"}
+    assert snapshot["recent"][0]["bytes"] == len(b"<y/>")
+
+
+def test_checkpoint_drops_terminal_keeps_dead(journal):
+    s1 = journal.append("m1", "/msg/echo", b"<x/>")
+    s2 = journal.append("m2", "/msg/echo", b"<x/>")
+    s3 = journal.append("m3", "/msg/echo", b"<x/>")
+    journal.append("m4", "/msg/echo", b"<x/>")
+    journal.mark(s1, DELIVERED)
+    journal.mark(s2, ABSORBED, reason="duplicate")
+    journal.mark(s3, DEAD, reason="expired")
+    result = journal.checkpoint()
+    assert result == {"removed": 2, "pending": 1, "dead": 1}
+    # keep_dead=False purges the dead-letter queue too
+    assert journal.checkpoint(keep_dead=False)["dead"] == 0
+    assert journal.counts() == {ENQUEUED: 1}
+
+
+def test_drop_unflushed_loses_buffered_marks_only():
+    """The crash hook: committed appends survive, buffered marks do not —
+    recovery then replays the (actually delivered) message."""
+    with MessageJournal(sync="always") as j:
+        seq = j.append("m1", "/msg/echo", b"<x/>")
+        j.mark(seq, DELIVERED)  # buffered, not yet committed
+        assert j.drop_unflushed() == 1
+        assert j.get(seq).state == ENQUEUED
+        assert [r.seq for r in j.undelivered()] == [seq]
+
+
+def test_expiry_deadlines_stored_on_wall_clock():
+    wall = {"now": 1000.0}
+    with MessageJournal(sync="lazy", now_fn=lambda: wall["now"]) as j:
+        seq = j.append("m1", "/msg/echo", b"<x/>", expires_at=1060.0)
+        wall["now"] = 1500.0
+        rec = j.get(seq)
+        assert rec.expires_at == 1060.0
+        assert rec.created_at == 1000.0
+        assert j.wall_now() == 1500.0
+
+
+def test_note_attempt_accumulates(journal):
+    seq = journal.append("m1", "/msg/echo", b"<x/>")
+    journal.note_attempt(seq)
+    journal.note_attempt(seq)
+    assert journal.get(seq).attempts == 2
+
+
+def test_reopen_from_disk_continues_sequence(tmp_path):
+    path = str(tmp_path / "journal.db")
+    with MessageJournal(path, sync="always") as j:
+        j.append("m1", "/msg/echo", b"<x/>")
+        j.append("m2", "/msg/echo", b"<y/>")
+    with MessageJournal(path, sync="always") as j2:
+        assert [r.message_id for r in j2.undelivered()] == ["m1", "m2"]
+        assert j2.append("m3", "/msg/echo", b"<z/>") == 3

@@ -29,6 +29,7 @@ ALL_ERRORS = [
     errors.MailboxAuthError,
     errors.AuthError,
     errors.DeliveryExpired,
+    errors.JournalError,
 ]
 
 

@@ -32,6 +32,7 @@ def test_top_level_exports():
         "repro.rt",
         "repro.simnet",
         "repro.simnet.metrics",
+        "repro.store",
         "repro.util",
         "repro.util.sqldb",
         "repro.workload",
