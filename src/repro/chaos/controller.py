@@ -25,6 +25,7 @@ from repro.chaos.plan import (
     SlowResponder,
 )
 from repro.errors import SimulationError
+from repro.obs.flight import FlightRecorder, default_flight_recorder
 from repro.obs.logkv import component_logger, log_event
 from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.simnet.topology import Network
@@ -50,6 +51,7 @@ class ChaosController:
         registry=None,
         servers=(),
         metrics: MetricsRegistry | None = None,
+        flight: FlightRecorder | None = None,
     ) -> None:
         self.net = net
         self.sim = net.sim
@@ -57,6 +59,7 @@ class ChaosController:
         self.registry = registry
         self._servers = {(s.host.name, s.port): s for s in servers}
         self.metrics = metrics if metrics is not None else default_registry()
+        self.flight = flight if flight is not None else default_flight_recorder()
         self._log = component_logger("chaos")
         self._m_injected = self.metrics.counter(
             "chaos_faults_injected_total", "fault windows begun, by kind"
@@ -97,6 +100,10 @@ class ChaosController:
             kind=kind, host=getattr(fault, "host", "-"), t=round(self.sim.now, 6),
             **fields,
         )
+        self.flight.record(
+            "fault-inject", "chaos", t=self.sim.now,
+            fault=kind, host=getattr(fault, "host", None), **fields,
+        )
 
     def _end(self, fault) -> None:
         self._active -= 1
@@ -104,6 +111,10 @@ class ChaosController:
             self._log, logging.INFO, "restore",
             kind=type(fault).__name__, host=getattr(fault, "host", "-"),
             t=round(self.sim.now, 6),
+        )
+        self.flight.record(
+            "fault-restore", "chaos", t=self.sim.now,
+            fault=type(fault).__name__, host=getattr(fault, "host", None),
         )
 
     def _drive(self, fault):

@@ -32,8 +32,10 @@ from repro.errors import (
     UnknownServiceError,
 )
 from repro.http import HttpResponse
+from repro.obs.flight import FlightRecorder, default_flight_recorder
 from repro.obs.logkv import component_logger, log_event
 from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.slo import stage_histogram
 from repro.obs.trace import (
     TraceContext,
     TraceStore,
@@ -163,6 +165,7 @@ class MsgDispatcher:
         traces: TraceStore | None = None,
         durable: MessageJournal | None = None,
         recover: bool = True,
+        flight: FlightRecorder | None = None,
     ) -> None:
         """``hold_store`` (a :class:`~repro.reliable.HoldRetryStore`) turns
         on the future-work reliable delivery: messages whose immediate
@@ -190,7 +193,14 @@ class MsgDispatcher:
         undelivered records from a previous incarnation back into the
         pipeline — at-least-once, so pair it with ``dedupe_window`` (and
         a sink-side :class:`~repro.reliable.DuplicateFilter`) for
-        effectively-once."""
+        effectively-once.
+
+        ``flight`` overrides the process-wide
+        :func:`~repro.obs.flight.default_flight_recorder`; state
+        transitions (sheds, deadletters, drain timeouts, journal
+        recovery, breaker trips) are recorded into it, and deadletters
+        trigger a postmortem dump when the recorder has a dump
+        directory."""
         self.registry = registry
         self.client = client
         self.own_address = own_address
@@ -209,6 +219,7 @@ class MsgDispatcher:
         self.counters = Counter()
         self.metrics = metrics if metrics is not None else default_registry()
         self.traces = traces if traces is not None else default_trace_store()
+        self.flight = flight if flight is not None else default_flight_recorder()
         self._log = component_logger("msgd")
 
         self._accept_queue: ClosableQueue[tuple] = ClosableQueue(
@@ -260,11 +271,20 @@ class MsgDispatcher:
             "Messages moved to the dead-letter queue, by reason",
         )
         self._m_fastpath = fastpath_counter(self.metrics)
+        # pipeline-stage latency histograms feeding the SLO tracker
+        # (repro.obs.slo); one shared family, children cached per stage
+        stage = stage_histogram(self.metrics)
+        self._m_stage_admit = stage.labels(stage="admit")
+        self._m_stage_journal = stage.labels(stage="journal")
+        self._m_stage_queue_accept = stage.labels(stage="queue_accept")
+        self._m_stage_queue_dest = stage.labels(stage="queue_destination")
+        self._m_stage_deliver = stage.labels(stage="deliver")
         #: per-destination circuit breakers (None unless config.breaker)
         self.breakers: BreakerRegistry | None = None
         if self.config.breaker is not None:
             self.breakers = BreakerRegistry(
-                self.config.breaker, clock=self.clock, metrics=self.metrics
+                self.config.breaker, clock=self.clock, metrics=self.metrics,
+                flight=self.flight,
             )
         self._correlations: dict[str, _Correlation] = {}
         self._destinations: dict[str, _Destination] = {}
@@ -368,15 +388,41 @@ class MsgDispatcher:
         if replayed:
             self.counters.inc("recovered", replayed)
             log_event(self._log, logging.INFO, "recover", replayed=replayed)
+            self.flight.record(
+                "journal-recover", "msgd", t=self.clock.now(),
+                replayed=replayed,
+            )
         return replayed
 
-    def _dead_letter(self, journal_seq: int | None, reason: str) -> None:
-        """Move a journaled message to the dead-letter queue."""
+    def _dead_letter(
+        self,
+        journal_seq: int | None,
+        reason: str,
+        trace_id: str | None = None,
+        dest: str | None = None,
+    ) -> None:
+        """Move a journaled message to the dead-letter queue.
+
+        Logs with the message's trace id (so logs and ``GET /trace/<id>``
+        correlate by grep), records a flight-recorder event, and triggers
+        a postmortem dump — a deadletter is exactly the moment the
+        preceding ring of events is worth keeping.
+        """
         if self.durable is None or journal_seq is None:
             return
         self.durable.mark(journal_seq, DEAD, reason=reason)
         self.counters.inc("dead_lettered")
         self._m_deadletter.labels(reason=reason).inc()
+        now = self.clock.now()
+        log_event(
+            self._log, logging.WARNING, "deadletter",
+            trace=trace_id, reason=reason, seq=journal_seq, dest=dest,
+        )
+        self.flight.record(
+            "deadletter", "msgd", t=now,
+            trace=trace_id, reason=reason, seq=journal_seq, dest=dest,
+        )
+        self.flight.postmortem("deadletter", t=now, reason=reason)
 
     # -- SoapService entry point (step 1-2 of Fig. 3) ----------------------
     def handle(self, envelope: Envelope, ctx: RequestContext) -> None:
@@ -405,6 +451,11 @@ class MsgDispatcher:
                     trace=trace_id, path=path,
                     max_inflight=self.config.max_inflight,
                 )
+                self.flight.record(
+                    "shed", "msgd", t=t_arrival,
+                    trace=trace_id, path=path,
+                    max_inflight=self.config.max_inflight,
+                )
                 raise OverloadedError(
                     "dispatcher overloaded",
                     retry_after=self.config.shed_retry_after,
@@ -413,9 +464,11 @@ class MsgDispatcher:
         if self.durable is not None:
             # Journal before ack: once this commits the dispatcher owns
             # the message — a crash at any later point replays it.
+            t_journal = self.clock.now()
             jseq = self.durable.append(
                 None, path, envelope.to_bytes(), kind="inbound"
             )
+            self._m_stage_journal.observe(self.clock.now() - t_journal)
         try:
             accepted = self._accept_queue.try_put(
                 (envelope, path, trace, t_arrival, jseq)
@@ -438,6 +491,7 @@ class MsgDispatcher:
             raise ReproError("dispatcher accept queue full")
         self.counters.inc("accepted")
         self._m_accepted.inc()
+        self._m_stage_admit.observe(self.clock.now() - t_arrival)
         if trace is not None:
             self.traces.record(
                 trace.trace_id, "admit", "msgd",
@@ -455,6 +509,7 @@ class MsgDispatcher:
                 return
             t_deq = self.clock.now()
             self._m_queue_wait.labels(queue="accept").observe(t_deq - t_enq)
+            self._m_stage_queue_accept.observe(t_deq - t_enq)
             if trace is not None:
                 self.traces.record(
                     trace.trace_id, "queue-wait", "msgd",
@@ -466,7 +521,10 @@ class MsgDispatcher:
             except ReproError:
                 self.counters.inc("dropped_unroutable")
                 self._m_dropped.labels(reason="unroutable").inc()
-                self._dead_letter(jseq, "unroutable")
+                self._dead_letter(
+                    jseq, "unroutable",
+                    trace_id=trace.trace_id if trace else None,
+                )
                 log_event(
                     self._log, logging.WARNING, "drop",
                     trace=trace.trace_id if trace else None,
@@ -476,7 +534,10 @@ class MsgDispatcher:
                 self.counters.inc("internal_errors")
                 # poison, not transient: replaying it would fail the same
                 # way forever, so it goes to the dead-letter queue
-                self._dead_letter(jseq, "internal_error")
+                self._dead_letter(
+                    jseq, "internal_error",
+                    trace_id=trace.trace_id if trace else None,
+                )
 
     def _route_one(
         self,
@@ -595,7 +656,10 @@ class MsgDispatcher:
         if target is None or target.is_anonymous:
             self.counters.inc("dropped_no_reply_to")
             self._m_dropped.labels(reason="no_reply_to").inc()
-            self._dead_letter(journal_seq, "no_reply_to")
+            self._dead_letter(
+                journal_seq, "no_reply_to",
+                trace_id=trace.trace_id if trace else None,
+            )
             return
         out = envelope.copy()
         new_headers = headers.copy()
@@ -676,7 +740,7 @@ class MsgDispatcher:
         except ReproError:
             self.counters.inc("dropped_unroutable")
             self._m_dropped.labels(reason="unroutable").inc()
-            self._dead_letter(journal_seq, "unroutable")
+            self._dead_letter(journal_seq, "unroutable", trace_id=trace_id)
             return
         with self._lock:
             dest = self._destinations.get(key)
@@ -696,7 +760,10 @@ class MsgDispatcher:
             if not dest.queue.try_put(item):
                 self.counters.inc("dropped_destination_queue_full")
                 self._m_dropped.labels(reason="destination_queue_full").inc()
-                self._dead_letter(journal_seq, "destination_queue_full")
+                self._dead_letter(
+                    journal_seq, "destination_queue_full",
+                    trace_id=trace_id, dest=key,
+                )
                 log_event(
                     self._log, logging.WARNING, "drop",
                     trace=trace_id, reason="destination_queue_full", dest=key,
@@ -770,6 +837,7 @@ class MsgDispatcher:
         t_deq = self.clock.now()
         wait = t_deq - item.enqueued_at
         self._m_queue_wait.labels(queue="destination").observe(wait)
+        self._m_stage_queue_dest.observe(wait)
         if item.trace is not None:
             self.traces.record(
                 item.trace.trace_id, "queue-wait", "msgd",
@@ -903,7 +971,10 @@ class MsgDispatcher:
         else:
             self.counters.inc("dropped_breaker_open")
             self._m_dropped.labels(reason="breaker_open").inc()
-            self._dead_letter(item.journal_seq, "breaker_open")
+            self._dead_letter(
+                item.journal_seq, "breaker_open",
+                trace_id=trace_id, dest=item.target_url,
+            )
             log_event(
                 self._log, logging.WARNING, "drop",
                 trace=trace_id, reason="breaker_open", dest=item.target_url,
@@ -957,7 +1028,10 @@ class MsgDispatcher:
         else:
             self.counters.inc("delivery_failures")
             self._m_dropped.labels(reason="delivery_failure").inc()
-            self._dead_letter(item.journal_seq, "delivery_failure")
+            self._dead_letter(
+                item.journal_seq, "delivery_failure",
+                trace_id=trace_id, dest=item.target_url,
+            )
             log_event(
                 self._log, logging.WARNING, "drop",
                 trace=trace_id, reason="delivery_failure",
@@ -975,6 +1049,7 @@ class MsgDispatcher:
         self.counters.inc("delivered")
         self._m_delivered.inc()
         self._m_transmit.observe(t_done - t_send)
+        self._m_stage_deliver.observe(t_done - t_send)
         if self.durable is not None and item.journal_seq is not None:
             self.durable.mark(item.journal_seq, DELIVERED)
         if item.trace is not None:
@@ -1127,6 +1202,11 @@ class MsgDispatcher:
             self._log, logging.WARNING, "drain-timeout",
             timeout=timeout, accept_queue=accept_depth,
             stuck=";".join(f"{k}={n}" for k, n in sorted(stuck.items())) or "-",
+        )
+        self.flight.record(
+            "drain-timeout", "msgd", t=self.clock.now(),
+            timeout=timeout, accept_queue=accept_depth,
+            stuck=len(stuck),
         )
         return False
 

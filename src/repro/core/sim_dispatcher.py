@@ -22,8 +22,10 @@ from repro.errors import (
     XmlError,
 )
 from repro.http import Headers, HttpRequest, HttpResponse
+from repro.obs.flight import FlightRecorder, default_flight_recorder
 from repro.obs.logkv import component_logger, log_event
 from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.slo import stage_histogram
 from repro.obs.trace import (
     TraceContext,
     TraceStore,
@@ -247,6 +249,7 @@ class SimMsgDispatcher:
         hold_store: HoldRetryStore | None = None,
         durable: MessageJournal | None = None,
         recover: bool = True,
+        flight: FlightRecorder | None = None,
     ) -> None:
         """``durable`` / ``recover`` mirror the threaded dispatcher: a
         :class:`~repro.store.MessageJournal` journals every admitted
@@ -255,7 +258,11 @@ class SimMsgDispatcher:
         the simulated twin of restarting after a
         :class:`~repro.chaos.ServiceCrash`.  Construct the journal with
         ``sync="lazy"`` (group commit would really sleep) and a
-        ``now_fn`` bound to the simulation clock."""
+        ``now_fn`` bound to the simulation clock.
+
+        ``flight`` receives the state-transition events (sheds,
+        dead-letters, recoveries, crashes) on the simulation clock, so a
+        seeded run dumps a bit-identical flight record."""
         self.net = net
         self.sim: Simulator = net.sim
         self.host = host
@@ -273,6 +280,7 @@ class SimMsgDispatcher:
         self.counters = Counter()
         self.metrics = metrics if metrics is not None else default_registry()
         self.traces = traces if traces is not None else default_trace_store()
+        self.flight = flight if flight is not None else default_flight_recorder()
         self._log = component_logger("msgd")
         self._accept: Store = Store(self.sim, capacity=self.config.accept_queue)
         self._m_accepted = self.metrics.counter(
@@ -304,6 +312,12 @@ class SimMsgDispatcher:
             "requests shed by admission control, by component",
         )
         self._m_fastpath = fastpath_counter(self.metrics)
+        stage = stage_histogram(self.metrics)
+        self._m_stage_admit = stage.labels(stage="admit")
+        self._m_stage_journal = stage.labels(stage="journal")
+        self._m_stage_queue_accept = stage.labels(stage="queue_accept")
+        self._m_stage_queue_dest = stage.labels(stage="queue_destination")
+        self._m_stage_deliver = stage.labels(stage="deliver")
         self._correlations: dict[str, _SimCorrelation] = {}
         self._waiters: dict[str, object] = {}  # sync-bridge events by URI
         self._destinations: dict[str, Store] = {}
@@ -312,7 +326,8 @@ class SimMsgDispatcher:
         self.breakers: BreakerRegistry | None = None
         if self.config.breaker is not None:
             self.breakers = BreakerRegistry(
-                self.config.breaker, clock=self.sim.clock, metrics=self.metrics
+                self.config.breaker, clock=self.sim.clock,
+                metrics=self.metrics, flight=self.flight,
             )
         #: failed deliveries are parked here instead of dropped; a pump
         #: process re-queues them on the policy schedule.  Construct the
@@ -353,6 +368,11 @@ class SimMsgDispatcher:
         journal *object* plays the disk that survives the crash — hand it
         to the next incarnation with ``recover=True``."""
         self._running = False
+        now = self.sim.now
+        self.flight.record(
+            "crash", "msgd", t=now, backlog=self.backlog(),
+        )
+        self.flight.postmortem("crash", t=now, backlog=self.backlog())
         if self.durable is not None:
             self.durable.drop_unflushed()
         self.durable = None
@@ -394,14 +414,33 @@ class SimMsgDispatcher:
         if replayed:
             self.counters.inc("recovered", replayed)
             log_event(self._log, logging.INFO, "recover", replayed=replayed)
+            self.flight.record(
+                "journal-recover", "msgd", t=self.sim.now, replayed=replayed
+            )
         return replayed
 
-    def _dead_letter(self, journal_seq: int | None, reason: str) -> None:
+    def _dead_letter(
+        self,
+        journal_seq: int | None,
+        reason: str,
+        trace_id: str | None = None,
+        dest: str | None = None,
+    ) -> None:
         if self.durable is None or journal_seq is None:
             return
         self.durable.mark(journal_seq, DEAD, reason=reason)
         self.counters.inc("dead_lettered")
         self._m_deadletter.labels(reason=reason).inc()
+        now = self.sim.now
+        log_event(
+            self._log, logging.WARNING, "deadletter",
+            trace=trace_id, reason=reason, seq=journal_seq, dest=dest,
+        )
+        self.flight.record(
+            "deadletter", "msgd", t=now,
+            trace=trace_id, reason=reason, seq=journal_seq, dest=dest,
+        )
+        self.flight.postmortem("deadletter", t=now, reason=reason)
 
     # -- HTTP handler (accepts one-way messages, answers 202) --------------
     def handler(self, request: HttpRequest):
@@ -440,13 +479,21 @@ class SimMsgDispatcher:
                 trace=trace_id, backlog=self.backlog(),
                 max_inflight=self.config.max_inflight,
             )
+            self.flight.record(
+                "shed", "msgd", t=t_arrival,
+                trace=trace_id, path=request.target,
+                backlog=self.backlog(),
+                max_inflight=self.config.max_inflight,
+            )
             return self._shed_response()
         jseq: int | None = None
         if self.durable is not None:
             # journal before ack: from here the journal owns the message
+            t_journal = self.sim.now
             jseq = self.durable.append(
                 None, request.target, request.body, kind="inbound"
             )
+            self._m_stage_journal.observe(self.sim.now - t_journal)
         if self.config.shed_on_full:
             if not self._accept.try_put(
                 (envelope, request.target, trace, t_arrival, jseq)
@@ -466,6 +513,7 @@ class SimMsgDispatcher:
             )
         self.counters.inc("accepted")
         self._m_accepted.inc()
+        self._m_stage_admit.observe(self.sim.now - t_arrival)
         if trace is not None:
             self.traces.record(
                 trace.trace_id, "admit", "msgd",
@@ -491,6 +539,7 @@ class SimMsgDispatcher:
             envelope, path, trace, t_enq, jseq = yield self._accept.get()
             t_deq = self.sim.now
             self._m_queue_wait.labels(queue="accept").observe(t_deq - t_enq)
+            self._m_stage_queue_accept.observe(t_deq - t_enq)
             if trace is not None:
                 self.traces.record(
                     trace.trace_id, "queue-wait", "msgd",
@@ -502,7 +551,10 @@ class SimMsgDispatcher:
             except ReproError:
                 self.counters.inc("dropped_unroutable")
                 self._m_dropped.labels(reason="unroutable").inc()
-                self._dead_letter(jseq, "unroutable")
+                self._dead_letter(
+                    jseq, "unroutable",
+                    trace_id=trace.trace_id if trace else None,
+                )
                 log_event(
                     self._log, logging.WARNING, "drop",
                     trace=trace.trace_id if trace else None,
@@ -515,7 +567,11 @@ class SimMsgDispatcher:
                 except ReproError:
                     self.counters.inc("dropped_unroutable")
                     self._m_dropped.labels(reason="unroutable").inc()
-                    self._dead_letter(jseq, "unroutable")
+                    self._dead_letter(
+                        jseq, "unroutable",
+                        trace_id=trace.trace_id if trace else None,
+                        dest=target_url,
+                    )
                     continue
                 # WsThreads are bound to *endpoints* (host:port) — every
                 # mailbox on one WS-MsgBox service shares one connection
@@ -561,7 +617,10 @@ class SimMsgDispatcher:
             if corr is not None:
                 if corr.expires_at < now:
                     self.counters.inc("expired_correlations")
-                    self._dead_letter(journal_seq, "expired_correlation")
+                    self._dead_letter(
+                        journal_seq, "expired_correlation",
+                        trace_id=trace.trace_id if trace else None,
+                    )
                     return []
                 return self._route_response(
                     envelope, headers, corr, trace, journal_seq=journal_seq
@@ -644,7 +703,10 @@ class SimMsgDispatcher:
         if target is None or target.is_anonymous:
             self.counters.inc("dropped_no_reply_to")
             self._m_dropped.labels(reason="no_reply_to").inc()
-            self._dead_letter(journal_seq, "no_reply_to")
+            self._dead_letter(
+                journal_seq, "no_reply_to",
+                trace_id=trace.trace_id if trace else None,
+            )
             return []
         out = envelope.copy()
         new_headers = headers.copy()
@@ -703,7 +765,10 @@ class SimMsgDispatcher:
         except ReproError:
             self.counters.inc("dropped_unroutable")
             self._m_dropped.labels(reason="unroutable").inc()
-            self._dead_letter(journal_seq, "unroutable")
+            self._dead_letter(
+                journal_seq, "unroutable",
+                trace_id=trace.trace_id if trace else None, dest=target_url,
+            )
             return
         dest_key = f"{endpoint.host}:{endpoint.port}"
         store = self._dest_store(dest_key)
@@ -713,7 +778,10 @@ class SimMsgDispatcher:
         ):
             self.counters.inc("dropped_destination_queue_full")
             self._m_dropped.labels(reason="destination_queue_full").inc()
-            self._dead_letter(journal_seq, "destination_queue_full")
+            self._dead_letter(
+                journal_seq, "destination_queue_full",
+                trace_id=trace.trace_id if trace else None, dest=dest_key,
+            )
             return
         self._ensure_worker(dest_key, store)
 
@@ -777,6 +845,7 @@ class SimMsgDispatcher:
             self._m_queue_wait.labels(queue="destination").observe(
                 t_send - enqueued_at
             )
+            self._m_stage_queue_dest.observe(t_send - enqueued_at)
             if trace is not None:
                 self.traces.record(
                     trace.trace_id, "queue-wait", "msgd",
@@ -805,7 +874,10 @@ class SimMsgDispatcher:
                 )
                 return
             self._m_dropped.labels(reason="delivery_failure").inc()
-            self._dead_letter(journal_seq, "delivery_failure")
+            self._dead_letter(
+                journal_seq, "delivery_failure",
+                trace_id=trace.trace_id if trace else None, dest=dest,
+            )
             log_event(
                 self._log, logging.WARNING, "drop",
                 trace=trace.trace_id if trace else None,
@@ -822,6 +894,7 @@ class SimMsgDispatcher:
         self.counters.inc("delivered")
         self._m_delivered.inc()
         self._m_transmit.observe(t_done - t_send)
+        self._m_stage_deliver.observe(t_done - t_send)
         if trace is not None:
             self.traces.record(
                 trace.trace_id, "deliver", "msgd",
@@ -855,6 +928,7 @@ class SimMsgDispatcher:
                 self._m_queue_wait.labels(queue="destination").observe(
                     t_burst - enqueued_at
                 )
+                self._m_stage_queue_dest.observe(t_burst - enqueued_at)
                 if trace is not None:
                     self.traces.record(
                         trace.trace_id, "queue-wait", "msgd",
@@ -891,6 +965,7 @@ class SimMsgDispatcher:
                 self.counters.inc("delivered")
                 self._m_delivered.inc()
                 self._m_transmit.observe(t_done - t_burst)
+                self._m_stage_deliver.observe(t_done - t_burst)
                 if trace is not None:
                     self.traces.record(
                         trace.trace_id, "deliver", "msgd",
@@ -916,7 +991,10 @@ class SimMsgDispatcher:
                     )
                     continue
                 self._m_dropped.labels(reason="delivery_failure").inc()
-                self._dead_letter(jseq, "delivery_failure")
+                self._dead_letter(
+                    jseq, "delivery_failure",
+                    trace_id=trace.trace_id if trace else None, dest=dest,
+                )
                 log_event(
                     self._log, logging.WARNING, "drop",
                     trace=trace.trace_id if trace else None,
@@ -978,7 +1056,10 @@ class SimMsgDispatcher:
             return
         self.counters.inc("dropped_breaker_open")
         self._m_dropped.labels(reason="breaker_open").inc()
-        self._dead_letter(journal_seq, "breaker_open")
+        self._dead_letter(
+            journal_seq, "breaker_open",
+            trace_id=trace.trace_id if trace else None, dest=dest,
+        )
         log_event(
             self._log, logging.WARNING, "drop",
             trace=trace.trace_id if trace else None,

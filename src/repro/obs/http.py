@@ -15,6 +15,14 @@ dict sources (what :class:`~repro.core.status.StatusPage` used to scrape)
 - ``GET /deadletters`` — the dead-letter queues of every registered
   durable journal: totals, counts by reason, and the most recent poison
   messages.
+- ``GET /slo`` — the declared pipeline-stage latency objectives and the
+  delivery-success error budget, evaluated live by an
+  :class:`~repro.obs.slo.SloTracker`; also embedded in ``GET /health``.
+- ``GET /flightrecorder`` — the :class:`~repro.obs.flight.FlightRecorder`
+  ring of recent state-transition events (``?kind=<k>`` filters,
+  ``?last=<n>`` truncates).
+- ``GET /metrics/history`` — the :class:`~repro.obs.history.MetricsSnapshotter`
+  time-series ring of periodic registry samples.
 
 Component sources keep working so existing deployments lose nothing: a
 source is anything with a ``stats`` dict property or a callable returning
@@ -29,8 +37,24 @@ import threading
 from typing import Callable
 
 from repro.http import Headers, HttpRequest, HttpResponse
+from repro.obs.flight import FlightRecorder, default_flight_recorder
+from repro.obs.history import MetricsSnapshotter
 from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.slo import SloTracker
 from repro.obs.trace import TraceStore, default_trace_store
+
+
+def _query_param(request: HttpRequest, name: str) -> str | None:
+    """Tiny query-string accessor (no stdlib urllib to stay dependency-light)."""
+    parts = request.target.split("?", 1)
+    if len(parts) < 2:
+        return None
+    for pair in parts[1].split("&"):
+        if "=" in pair:
+            key, value = pair.split("=", 1)
+            if key == name:
+                return value
+    return None
 
 
 def _wants_json(request: HttpRequest) -> bool:
@@ -62,9 +86,22 @@ class Introspection:
         metrics: MetricsRegistry | None = None,
         traces: TraceStore | None = None,
         title: str = "WS-Dispatcher introspection",
+        flight: FlightRecorder | None = None,
+        slo: SloTracker | None = None,
+        history: MetricsSnapshotter | None = None,
     ) -> None:
+        """``flight``/``slo``/``history`` feed the ``/flightrecorder``,
+        ``/slo``, and ``/metrics/history`` pages; defaults are the
+        process-wide flight recorder, a tracker with the default policy
+        over ``metrics``, and an (unstarted) snapshotter over ``metrics``
+        — so every endpoint answers even on a bare deployment."""
         self.metrics = metrics if metrics is not None else default_registry()
         self.traces = traces if traces is not None else default_trace_store()
+        self.flight = flight if flight is not None else default_flight_recorder()
+        self.slo = slo if slo is not None else SloTracker(self.metrics)
+        self.history = (
+            history if history is not None else MetricsSnapshotter(self.metrics)
+        )
         self.title = title
         self._lock = threading.Lock()
         self._sources: dict[str, Callable[[], dict]] = {}
@@ -226,10 +263,31 @@ class Introspection:
         return _json_response(self.traces.to_json(trace_id))
 
     def health_handler(self, request: HttpRequest) -> HttpResponse:
-        return _json_response(self.health_snapshot())
+        payload: dict = dict(self.health_snapshot())
+        payload["slo"] = self.slo.snapshot()
+        return _json_response(payload)
 
     def deadletters_handler(self, request: HttpRequest) -> HttpResponse:
         return _json_response(self.deadletters_snapshot())
+
+    def slo_handler(self, request: HttpRequest) -> HttpResponse:
+        return _json_response(self.slo.snapshot())
+
+    def flight_handler(self, request: HttpRequest) -> HttpResponse:
+        kind = _query_param(request, "kind")
+        last = _query_param(request, "last")
+        if kind is None and last is None:
+            return _json_response(self.flight.to_json())
+        try:
+            last_n = int(last) if last is not None else None
+        except ValueError:
+            return _json_response({"error": f"bad last={last!r}"}, status=400)
+        return _json_response(
+            {"events": self.flight.snapshot(last=last_n, kind=kind)}
+        )
+
+    def history_handler(self, request: HttpRequest) -> HttpResponse:
+        return _json_response(self.history.to_json())
 
     def mount(
         self,
@@ -238,9 +296,19 @@ class Introspection:
         trace_path: str = "/trace",
         health_path: str = "/health",
         deadletters_path: str = "/deadletters",
+        slo_path: str = "/slo",
+        flight_path: str = "/flightrecorder",
+        history_path: str = "/metrics/history",
     ) -> None:
-        """Mount the endpoints on a :class:`~repro.rt.service.SoapHttpApp`."""
+        """Mount the endpoints on a :class:`~repro.rt.service.SoapHttpApp`.
+
+        ``/metrics/history`` coexists with ``/metrics`` because page
+        routing is longest-prefix-first.
+        """
         app.mount_page(metrics_path, self.metrics_handler)
         app.mount_page(trace_path, self.trace_handler)
         app.mount_page(health_path, self.health_handler)
         app.mount_page(deadletters_path, self.deadletters_handler)
+        app.mount_page(slo_path, self.slo_handler)
+        app.mount_page(flight_path, self.flight_handler)
+        app.mount_page(history_path, self.history_handler)

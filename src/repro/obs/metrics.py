@@ -31,6 +31,7 @@ inventing a new accumulator.
 
 from __future__ import annotations
 
+import math
 import threading
 from typing import Callable, Iterator
 
@@ -140,6 +141,23 @@ class HistogramChild:
                 "quantiles": {q: self._hist.quantile(q) for q in quantiles},
             }
 
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """Prometheus-style cumulative series: ``(upper_edge, count_le)``.
+
+        Only non-empty buckets appear (plus the mandatory ``+Inf`` total,
+        which also covers overflow samples), keeping the exposition small
+        for sparse latency distributions.
+        """
+        with self._lock:
+            out: list[tuple[float, int]] = []
+            cum = 0
+            for i, c in enumerate(self._hist.buckets):
+                if c:
+                    cum += c
+                    out.append(((i + 1) * self._hist.bucket_width, cum))
+            out.append((math.inf, self._hist.count))
+            return out
+
 
 class _NoopChild:
     """Shared do-nothing child handed out by a disabled registry."""
@@ -177,6 +195,9 @@ class _NoopChild:
 
     def summary(self, quantiles: tuple[float, ...] = (0.5, 0.9, 0.99)) -> dict:
         return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "quantiles": {}}
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        return []
 
     def labels(self, **labels: str) -> "_NoopChild":
         return self
@@ -314,29 +335,33 @@ class MetricsRegistry:
         return out
 
     def render_prometheus(self) -> str:
-        """Prometheus-style text exposition (histograms as summaries)."""
+        """Prometheus text exposition (v0.0.4) a real scraper can ingest.
+
+        Histograms render as proper cumulative ``_bucket{le="..."}``
+        series (non-empty buckets plus the mandatory ``+Inf``), followed
+        by ``_sum`` and ``_count``; every family gets ``# HELP`` and
+        ``# TYPE`` lines.
+        """
         lines: list[str] = []
         for fam in self.families():
             name = _prom_name(fam.name)
-            if fam.help:
-                lines.append(f"# HELP {name} {fam.help}")
-            prom_type = "summary" if fam.kind == "histogram" else fam.kind
-            lines.append(f"# TYPE {name} {prom_type}")
+            help_text = fam.help if fam.help else name
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {fam.kind}")
             for labels, child in fam.samples():
                 if fam.kind == "histogram":
-                    summary = child.summary()
-                    for q, v in summary["quantiles"].items():
-                        q_labels = dict(labels)
-                        q_labels["quantile"] = f"{q:g}"
+                    for edge, cum in child.cumulative_buckets():
+                        b_labels = dict(labels)
+                        b_labels["le"] = _prom_value(edge)
                         lines.append(
-                            f"{name}{_prom_labels(q_labels)} {_prom_value(v)}"
+                            f"{name}_bucket{_prom_labels(b_labels)} {cum}"
                         )
                     lines.append(
                         f"{name}_sum{_prom_labels(labels)} "
-                        f"{_prom_value(summary['sum'])}"
+                        f"{_prom_value(child.sum)}"
                     )
                     lines.append(
-                        f"{name}_count{_prom_labels(labels)} {summary['count']}"
+                        f"{name}_count{_prom_labels(labels)} {child.count}"
                     )
                 else:
                     lines.append(

@@ -1,0 +1,172 @@
+"""Pipeline-stage latency SLOs: objectives, error budgets, burn rates.
+
+The dispatcher pipeline has five instrumented stages — **admit** (arrival
+to queued), **journal** (write-ahead append), **queue_accept** (waiting
+for a CxThread), **queue_destination** (waiting for a WsThread), and
+**deliver** (transmit to the destination) — each observed into one
+``msgd_stage_seconds{stage=...}`` histogram family by both dispatchers
+(:mod:`repro.core.msg_dispatcher` and :mod:`repro.core.sim_dispatcher`).
+
+:class:`SloTracker` evaluates declared objectives against that family: a
+p99 latency target per stage, plus an end-to-end delivery-success target
+(delivered / (delivered + dropped), default **99.9%**) with classic
+error-budget arithmetic — the budget is ``1 - objective``, consumption is
+the observed failure fraction, and the *burn rate* is consumption divided
+by budget (burn rate 1.0 = the budget is exactly spent; > 1.0 = the SLO
+is violated).  The snapshot is surfaced on ``GET /slo`` and embedded in
+``GET /health`` by :class:`repro.obs.http.Introspection`.
+
+Objectives are declared data (:class:`SloPolicy`), not configuration
+files: experiments construct a policy matching their simulated latency
+regime, deployments take the defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import MetricsRegistry, default_registry
+
+#: canonical stage names, pipeline order
+STAGES = ("admit", "journal", "queue_accept", "queue_destination", "deliver")
+
+#: the shared stage histogram family: one bucket = 20ms, range 10.24s.
+#: Both dispatchers and the tracker must create the family with the same
+#: shape, so the parameters live here.
+STAGE_METRIC = "msgd_stage_seconds"
+STAGE_BUCKET_WIDTH = 0.02
+STAGE_NUM_BUCKETS = 512
+
+
+def stage_histogram(metrics: MetricsRegistry):
+    """The ``msgd_stage_seconds`` family (created on first use)."""
+    return metrics.histogram(
+        STAGE_METRIC,
+        "time spent in each dispatcher pipeline stage, by stage",
+        bucket_width=STAGE_BUCKET_WIDTH,
+        num_buckets=STAGE_NUM_BUCKETS,
+    )
+
+
+@dataclass(frozen=True)
+class StageObjective:
+    """One declared per-stage latency objective."""
+
+    stage: str
+    p99: float  # seconds
+
+
+def _default_objectives() -> tuple[StageObjective, ...]:
+    return (
+        StageObjective("admit", p99=0.10),
+        StageObjective("journal", p99=0.10),
+        StageObjective("queue_accept", p99=0.50),
+        StageObjective("queue_destination", p99=2.00),
+        StageObjective("deliver", p99=1.00),
+    )
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """The declared service-level objectives for one deployment."""
+
+    objectives: tuple[StageObjective, ...] = field(
+        default_factory=_default_objectives
+    )
+    #: delivered / (delivered + dropped) must stay at or above this
+    delivery_success: float = 0.999
+
+    def objective_for(self, stage: str) -> StageObjective | None:
+        for obj in self.objectives:
+            if obj.stage == stage:
+                return obj
+        return None
+
+
+class SloTracker:
+    """Evaluates an :class:`SloPolicy` against the live metrics registry."""
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        policy: SloPolicy | None = None,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else default_registry()
+        self.policy = policy if policy is not None else SloPolicy()
+
+    # -- evaluation --------------------------------------------------------
+    def _stage_children(self) -> dict[str, object]:
+        if not self.metrics.enabled:
+            return {}
+        family = stage_histogram(self.metrics)
+        out: dict[str, object] = {}
+        for labels, child in family.samples():
+            stage = labels.get("stage")
+            if stage:
+                out[stage] = child
+        return out
+
+    def _counter_total(self, name: str) -> float:
+        if not self.metrics.enabled:
+            return 0.0
+        family = self.metrics.counter(name)
+        return sum(child.get() for _labels, child in family.samples())
+
+    def stage_report(self) -> dict[str, dict]:
+        """Per-stage p99 against the declared objective.
+
+        A stage with no observations yet is vacuously met; a stage whose
+        p99 landed in the histogram overflow bucket reports ``p99`` as
+        ``inf`` and is counted as missed.
+        """
+        children = self._stage_children()
+        report: dict[str, dict] = {}
+        for stage in STAGES:
+            objective = self.policy.objective_for(stage)
+            child = children.get(stage)
+            count = child.count if child is not None else 0
+            p99 = child.quantile(0.99) if child is not None and count else 0.0
+            entry: dict = {"count": count, "p99": p99}
+            if objective is not None:
+                entry["objective_p99"] = objective.p99
+                entry["met"] = count == 0 or p99 <= objective.p99
+            report[stage] = entry
+        return report
+
+    def delivery_report(self) -> dict:
+        """Delivery-success ratio with error-budget/burn-rate arithmetic."""
+        delivered = self._counter_total("msgd_delivered_total")
+        dropped = self._counter_total("msgd_dropped_total")
+        total = delivered + dropped
+        objective = self.policy.delivery_success
+        allowed = max(1.0 - objective, 1e-12)
+        if total:
+            success_ratio = delivered / total
+            consumed = dropped / total
+        else:
+            success_ratio = 1.0
+            consumed = 0.0
+        burn_rate = consumed / allowed
+        return {
+            "delivered": delivered,
+            "dropped": dropped,
+            "total": total,
+            "success_ratio": success_ratio,
+            "objective": objective,
+            "met": success_ratio >= objective,
+            "error_budget": {
+                "allowed": 1.0 - objective,
+                "consumed": consumed,
+                "burn_rate": burn_rate,
+                "remaining_fraction": max(0.0, 1.0 - burn_rate),
+            },
+        }
+
+    def snapshot(self) -> dict:
+        """The full SLO evaluation served on ``GET /slo``."""
+        stages = self.stage_report()
+        delivery = self.delivery_report()
+        met = delivery["met"] and all(
+            entry.get("met", True) for entry in stages.values()
+        )
+        return {"met": met, "stages": stages, "delivery": delivery}

@@ -149,18 +149,29 @@ class TraceStore:
     tracing half of the benchmark guard's disabled mode).
     """
 
-    def __init__(self, capacity: int = 512, enabled: bool = True) -> None:
+    def __init__(
+        self,
+        capacity: int = 512,
+        enabled: bool = True,
+        span_prefix: str = "span",
+    ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
         self.enabled = enabled
+        self.span_prefix = span_prefix
         self._lock = threading.Lock()
         self._traces: "OrderedDict[str, list[Span]]" = OrderedDict()
         self._span_seq = itertools.count(1)
 
     def new_span_id(self) -> str:
-        """Pre-allocate a span id (to advertise downstream before recording)."""
-        return f"span-{next(self._span_seq)}"
+        """Pre-allocate a span id (to advertise downstream before recording).
+
+        ``span_prefix`` keeps ids from colliding when several processes —
+        each with its own store counting from 1 — report spans into one
+        aggregating store (the cross-process span-report path).
+        """
+        return f"{self.span_prefix}-{next(self._span_seq)}"
 
     def record(
         self,
@@ -195,6 +206,45 @@ class TraceStore:
                 self._traces[trace_id] = spans
             spans.append(span)
         return span
+
+    def ingest(self, spans: list[dict]) -> int:
+        """Absorb spans reported by another process's store.
+
+        Each entry is a :meth:`Span.to_dict` payload shipped over the
+        span-report protocol (:mod:`repro.obs.spanreport`); malformed
+        entries are skipped.  Returns the number of spans absorbed.
+        Reported span ids are kept verbatim — remote stores use distinct
+        ``span_prefix`` values so parent links resolve unambiguously.
+        """
+        absorbed = 0
+        for payload in spans:
+            try:
+                trace_id = payload["trace_id"]
+                span_id = payload["span_id"]
+                name = payload["name"]
+                component = payload["component"]
+                start = float(payload["start"])
+                end = float(payload["end"])
+            except (KeyError, TypeError, ValueError):
+                continue
+            if not trace_id or not span_id:
+                continue
+            attrs = payload.get("attrs") or {}
+            if not isinstance(attrs, dict):
+                attrs = {}
+            span = self.record(
+                str(trace_id),
+                str(name),
+                str(component),
+                start,
+                end,
+                span_id=str(span_id),
+                parent_id=payload.get("parent_id") or None,
+                **{str(k): str(v) for k, v in attrs.items()},
+            )
+            if span is not None:
+                absorbed += 1
+        return absorbed
 
     # -- retrieval --------------------------------------------------------
     def get(self, trace_id: str) -> list[Span]:

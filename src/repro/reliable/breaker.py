@@ -39,6 +39,7 @@ from typing import Callable
 
 from repro.errors import ReproError
 from repro.transport.base import parse_http_url
+from repro.obs.flight import FlightRecorder, default_flight_recorder
 from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.util.clock import Clock, MonotonicClock
 
@@ -221,10 +222,15 @@ class BreakerRegistry:
         config: BreakerConfig | None = None,
         clock: Clock | None = None,
         metrics: MetricsRegistry | None = None,
+        flight: FlightRecorder | None = None,
     ) -> None:
+        """``flight`` records every state transition as a
+        ``breaker-<to_state>`` event — breaker trips are the flight
+        recorder's bread and butter."""
         self.config = config or BreakerConfig()
         self.clock = clock or MonotonicClock()
         self.metrics = metrics if metrics is not None else default_registry()
+        self.flight = flight if flight is not None else default_flight_recorder()
         self._m_state = self.metrics.gauge(
             "rt_breaker_state",
             "circuit state per destination (0=closed, 1=open, 2=half_open)",
@@ -247,6 +253,10 @@ class BreakerRegistry:
                 def note(from_state: str, to: str, _dest: str = dest) -> None:
                     self._m_transitions.labels(dest=_dest, to=to).inc()
                     self._m_state.labels(dest=_dest).set(_STATE_GAUGE[to])
+                    self.flight.record(
+                        f"breaker-{to}", "breaker", t=self.clock.now(),
+                        dest=_dest, from_state=from_state,
+                    )
 
                 breaker = CircuitBreaker(self.config, self.clock, note)
                 self._m_state.labels(dest=dest).set(0.0)

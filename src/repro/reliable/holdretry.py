@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
 from repro.errors import DeliveryExpired
+from repro.obs.flight import FlightRecorder, default_flight_recorder
 from repro.reliable.policy import RetryPolicy, ExponentialBackoff
 from repro.store.journal import DEAD, DELIVERED
 from repro.util.clock import Clock, MonotonicClock
@@ -70,12 +71,14 @@ class HoldRetryStore:
         clock: Clock | None = None,
         durable: "MessageJournal | None" = None,
         metrics: "MetricsRegistry | None" = None,
+        flight: FlightRecorder | None = None,
     ) -> None:
         self._deliver = deliver
         self.policy = policy or ExponentialBackoff(jitter=True)
         self.default_ttl = default_ttl
         self.clock = clock or MonotonicClock()
         self._durable = durable
+        self.flight = flight if flight is not None else default_flight_recorder()
         self._m_dead = (
             metrics.counter(
                 "dispatcher_deadletter_total",
@@ -107,6 +110,11 @@ class HoldRetryStore:
             self._durable.mark(msg.journal_seq, DEAD, reason=reason)
         if self._m_dead is not None:
             self._m_dead.labels(reason=reason).inc()
+        self.flight.record(
+            "hold-expired", "holdretry", t=self.clock.now(),
+            message_id=msg.message_id, reason=reason,
+            dest=msg.target_url, attempts=msg.attempts,
+        )
 
     # -- intake ----------------------------------------------------------
     def hold(

@@ -97,6 +97,7 @@ class SoapHttpApp:
         ``soap_fastpath_total`` metric of ``metrics``."""
         self._services: list[tuple[str, SoapService]] = []
         self._pages: list[tuple[str, Callable[[HttpRequest], HttpResponse]]] = []
+        self._raw: list[tuple[str, Callable[[HttpRequest], HttpResponse]]] = []
         self._server_header = server_header
         self._accept_binary = accept_binary
         self._fast_path = fast_path
@@ -117,6 +118,17 @@ class SoapHttpApp:
         self._pages.append((prefix, handler))
         self._pages.sort(key=lambda item: len(item[0]), reverse=True)
 
+    def mount_raw(
+        self, prefix: str, handler: Callable[[HttpRequest], HttpResponse]
+    ) -> None:
+        """Mount a non-SOAP ``POST`` handler (e.g. the span-report
+        endpoint): checked before SOAP service lookup, so operator-plane
+        JSON traffic can share the server with envelope traffic."""
+        if not prefix.startswith("/"):
+            raise ValueError("mount prefix must start with '/'")
+        self._raw.append((prefix, handler))
+        self._raw.sort(key=lambda item: len(item[0]), reverse=True)
+
     def _lookup(self, path: str) -> SoapService | None:
         for prefix, service in self._services:
             if path == prefix or path.startswith(prefix.rstrip("/") + "/") or (
@@ -135,6 +147,9 @@ class SoapHttpApp:
             return HttpResponse(status=404, body=b"not found")
         if request.method != "POST":
             return HttpResponse(status=405, body=b"SOAP endpoints accept POST")
+        for prefix, handler in self._raw:
+            if path == prefix or path.startswith(prefix.rstrip("/") + "/"):
+                return handler(request)
 
         service = self._lookup(path)
         if service is None:

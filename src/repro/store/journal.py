@@ -138,6 +138,7 @@ class MessageJournal:
         group_window: float = 0.002,
         flush_threshold: int = 128,
         now_fn: Callable[[], float] | None = None,
+        flight: "object | None" = None,
     ) -> None:
         if sync not in _SYNC_MODES:
             raise JournalError(f"unknown sync mode {sync!r}; use one of {_SYNC_MODES}")
@@ -146,6 +147,13 @@ class MessageJournal:
         self.group_window = group_window
         self.flush_threshold = flush_threshold
         self.now_fn = now_fn or time.time
+        if flight is None:
+            from repro.obs.flight import default_flight_recorder
+
+            flight = default_flight_recorder()
+        #: flight recorder for state transitions worth a postmortem
+        #: (dead-letter marks, buffered writes lost to a crash)
+        self.flight = flight
         self._conn = sqlite3.connect(path, check_same_thread=False)
         self._db_lock = threading.Lock()
         with self._db_lock:
@@ -248,6 +256,11 @@ class MessageJournal:
                 (state, reason, self.now_fn(), seq, ENQUEUED),
             ))
             self._op += 1
+        if state == DEAD:
+            self.flight.record(
+                "journal-dead", "journal", t=self.now_fn(),
+                seq=seq, reason=reason,
+            )
         self._maybe_flush()
 
     def note_attempt(self, seq: int) -> None:
@@ -283,6 +296,11 @@ class MessageJournal:
             dropped = len(self._pending)
             self._pending.clear()
             self._committed = self._op
+        if dropped:
+            self.flight.record(
+                "journal-lost-writes", "journal", t=self.now_fn(),
+                dropped=dropped,
+            )
         return dropped
 
     # -- group commit ------------------------------------------------------

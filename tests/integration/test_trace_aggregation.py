@@ -1,0 +1,190 @@
+"""Cross-process trace aggregation over the simulated network.
+
+Three "processes" — the client shim, the echo service host, and the
+WS-Dispatcher/MsgBox host — each record spans into their *own* trace
+store.  Span shippers POST the remote stores' outboxes to the
+dispatcher's ``/trace-report`` endpoint, after which the dispatcher's
+aggregated store renders the complete multi-hop span tree for a single
+trace id.
+"""
+
+import json
+
+import pytest
+
+from repro.core import ServiceRegistry
+from repro.core.sim_dispatcher import SimMsgDispatcher, SimMsgDispatcherConfig
+from repro.http import Headers, HttpRequest
+from repro.msgbox import MailboxStore, MsgBoxService
+from repro.msgbox.service import make_mailbox_epr
+from repro.obs import Introspection, MetricsRegistry, TraceStore
+from repro.obs.spanreport import (
+    SPAN_REPORT_PATH,
+    ReportingTraceStore,
+    SimSpanShipper,
+    SpanReportHandler,
+)
+from repro.obs.trace import TraceContext, attach_trace
+from repro.rt.service import SoapHttpApp
+from repro.simnet.httpsim import SimHttpServer, sim_http_request
+from repro.simnet.services import SimAsyncEchoService
+from repro.simnet.topology import AccessLink, Network
+from repro.soap.constants import SOAP11_CONTENT_TYPE
+from repro.util.ids import IdGenerator
+from repro.workload.echo import make_echo_message
+
+
+@pytest.fixture
+def world(sim):
+    """client / ws / wsd hosts, each with its own per-process store."""
+    metrics = MetricsRegistry()
+    aggregated = TraceStore(span_prefix="wsd")
+    client_traces = ReportingTraceStore(span_prefix="client")
+    svc_traces = ReportingTraceStore(span_prefix="svc")
+
+    net = Network(sim)
+    link = AccessLink(5000, 5000, 0.005)
+    client = net.add_host("client", link)
+    ws_host = net.add_host("ws", link)
+    wsd_host = net.add_host("wsd", link)
+
+    echo = SimAsyncEchoService(net, ws_host, reply_senders=8, traces=svc_traces)
+    SimHttpServer(net, ws_host, 9000, echo.handler)
+    registry = ServiceRegistry(metrics=metrics)
+    registry.register("echo", "http://ws:9000/echo")
+
+    dispatcher = SimMsgDispatcher(
+        net, wsd_host, registry,
+        own_address="http://wsd:8000/msg",
+        config=SimMsgDispatcherConfig(cx_workers=2, ws_workers=4),
+        metrics=metrics, traces=aggregated,
+    )
+    report_handler = SpanReportHandler(aggregated, metrics=metrics)
+    intro = Introspection(metrics=metrics, traces=aggregated)
+    intro_app = SoapHttpApp()
+    intro.mount(intro_app)
+
+    def wsd_handler(request: HttpRequest):
+        path = request.target.split("?", 1)[0]
+        if path == SPAN_REPORT_PATH:
+            return report_handler(request)
+        if path.startswith("/trace"):
+            return intro_app.handle_request(request, None)
+        return (yield from dispatcher.handler(request))
+
+    SimHttpServer(net, wsd_host, 8000, wsd_handler)
+
+    store = MailboxStore(clock=sim.clock)
+    msgbox = MsgBoxService(
+        store, base_url="http://wsd:8500/mailbox",
+        clock=sim.clock, metrics=metrics, traces=aggregated,
+    )
+    mb_app = SoapHttpApp()
+    mb_app.mount("/mailbox", msgbox)
+    SimHttpServer(net, wsd_host, 8500, lambda r: mb_app.handle_request(r, None))
+
+    shippers = [
+        SimSpanShipper(net, client, client_traces, "wsd", 8000, interval=0.25),
+        SimSpanShipper(net, ws_host, svc_traces, "wsd", 8000, interval=0.25),
+    ]
+    for shipper in shippers:
+        shipper.start()
+
+    return {
+        "net": net,
+        "client": client,
+        "store": store,
+        "aggregated": aggregated,
+        "client_traces": client_traces,
+        "svc_traces": svc_traces,
+        "shippers": shippers,
+    }
+
+
+def _send_traced(world):
+    """Send one traced message; returns (trace_id, mailbox_id)."""
+    net, client = world["net"], world["client"]
+    sim = net.sim
+    mailbox_id = world["store"].create()
+    epr = make_mailbox_epr("http://wsd:8500/mailbox", mailbox_id)
+    mid = IdGenerator("agg", seed=11).next()
+    msg = make_echo_message(to="urn:wsd:echo", message_id=mid, reply_to=epr)
+
+    client_traces = world["client_traces"]
+    ctx = TraceContext(f"trace-{mid}")
+    send_sid = client_traces.new_span_id()
+    attach_trace(msg, ctx.child(send_sid))
+    headers = Headers()
+    headers.set("Content-Type", SOAP11_CONTENT_TYPE)
+
+    def send():
+        t_send = sim.now
+        resp = yield from sim_http_request(
+            net, client, "wsd", 8000,
+            HttpRequest("POST", "/msg/echo", headers=headers, body=msg.to_bytes()),
+        )
+        client_traces.record(
+            ctx.trace_id, "send", "client", t_send, sim.now,
+            span_id=send_sid, status=str(resp.status),
+        )
+        return resp.status
+
+    assert sim.run(sim.process(send())) == 202
+    # let delivery, the reply hop, and at least one shipping round land
+    sim.run(until=sim.now + 5.0)
+    return ctx.trace_id, mailbox_id
+
+
+def test_aggregated_store_holds_the_complete_span_tree(world):
+    trace_id, mailbox_id = _send_traced(world)
+    assert world["store"].peek_count(mailbox_id) == 1
+
+    spans = world["aggregated"].get(trace_id)
+    components = {s.component for s in spans}
+    # spans from all three processes landed in ONE store
+    assert {"client", "msgd", "echo", "msgbox"} <= components
+
+    # prefix scheme: remote span ids arrive verbatim, no collisions
+    ids = [s.span_id for s in spans]
+    assert len(ids) == len(set(ids))
+    assert any(i.startswith("client-") for i in ids)
+    assert any(i.startswith("svc-") for i in ids)
+    assert any(i.startswith("wsd-") for i in ids)
+
+    # every recorded parent pointer resolves inside the aggregated tree
+    id_set = set(ids)
+    parents = [s.parent_id for s in spans if s.parent_id is not None]
+    assert parents, "expected at least one parent-linked span"
+    assert all(p in id_set for p in parents)
+
+    # the client's root "send" span is present and spans the exchange
+    send = next(s for s in spans if s.name == "send")
+    assert send.component == "client"
+    assert send.span_id.startswith("client-")
+
+    # nothing was lost in shipping
+    assert world["client_traces"].pending == 0
+    assert world["svc_traces"].pending == 0
+    assert sum(s.shipped for s in world["shippers"]) >= 2
+
+
+def test_trace_endpoint_renders_the_multi_process_tree(world):
+    trace_id, _ = _send_traced(world)
+    net, client = world["net"], world["client"]
+    sim = net.sim
+
+    def scrape():
+        resp = yield from sim_http_request(
+            net, client, "wsd", 8000,
+            HttpRequest("GET", f"/trace/{trace_id}"),
+        )
+        return resp
+
+    response = sim.run(sim.process(scrape()))
+    assert response.status == 200
+    doc = json.loads(response.body)
+    assert doc["trace_id"] == trace_id
+    components = {s["component"] for s in doc["spans"]}
+    assert {"client", "msgd", "echo", "msgbox"} <= components
+    # ≥ 3 distinct processes contributed spans to one GET /trace/<id> page
+    assert len(components) >= 3

@@ -190,8 +190,9 @@ class TestThreadedStack:
         text = resp.body.decode()
         # per-destination queue depth gauge, labeled by destination
         assert "msgd_destination_queue_depth{dest=" in text
-        # latency histogram exposes quantiles and totals
-        assert 'msgd_queue_wait_seconds{quantile="0.5"' in text
+        # latency histogram exposes cumulative buckets and totals
+        assert "# TYPE msgd_queue_wait_seconds histogram" in text
+        assert 'msgd_queue_wait_seconds_bucket{' in text
         assert "msgd_transmit_seconds_count" in text
         assert "msgd_delivered_total 2" in text  # ws hop + mailbox hop
 

@@ -149,7 +149,10 @@ class TestMount:
 
         intro = make_introspection()
         intro.mount(FakeApp())
-        assert set(mounted) == {"/metrics", "/trace", "/health", "/deadletters"}
+        assert set(mounted) == {
+            "/metrics", "/trace", "/health", "/deadletters",
+            "/slo", "/flightrecorder", "/metrics/history",
+        }
 
 
 class TestDeadletters:

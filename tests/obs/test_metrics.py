@@ -156,10 +156,23 @@ class TestExposition:
         assert "# TYPE req_total counter" in text
         assert 'req_total{dest="a b"} 1' in text
         assert "depth 3" in text
-        assert "# TYPE lat_seconds summary" in text
-        assert 'lat_seconds{quantile="0.5"}' in text
+        assert "# HELP lat_seconds latency" in text
+        assert "# TYPE lat_seconds histogram" in text
+        assert 'lat_seconds_bucket{le="+Inf"} 1' in text
         assert "lat_seconds_sum 0.02" in text
         assert "lat_seconds_count 1" in text
+
+    def test_prometheus_histogram_buckets_cumulative(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h_seconds", bucket_width=0.1, num_buckets=10)
+        for value in (0.05, 0.05, 0.15, 0.95):
+            hist.observe(value)
+        text = reg.render_prometheus()
+        assert 'h_seconds_bucket{le="0.1"} 2' in text
+        assert 'h_seconds_bucket{le="0.2"} 3' in text
+        assert 'h_seconds_bucket{le="1"} 4' in text
+        assert 'h_seconds_bucket{le="+Inf"} 4' in text
+        assert "h_seconds_count 4" in text
 
     def test_prometheus_label_escaping(self):
         reg = MetricsRegistry()

@@ -1,0 +1,139 @@
+"""SLO tracker: stage objectives, delivery error budget, burn rate."""
+
+import math
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    STAGE_BUCKET_WIDTH,
+    STAGE_METRIC,
+    STAGE_NUM_BUCKETS,
+    STAGES,
+    SloPolicy,
+    SloTracker,
+    StageObjective,
+    stage_histogram,
+)
+
+
+def _observe(metrics, stage, values):
+    child = stage_histogram(metrics).labels(stage=stage)
+    for v in values:
+        child.observe(v)
+
+
+class TestStageHistogram:
+    def test_shared_family_shape(self):
+        metrics = MetricsRegistry()
+        family = stage_histogram(metrics)
+        child = family.labels(stage="admit")
+        child.observe(0.01)
+        snap = metrics.snapshot()[STAGE_METRIC]
+        assert snap["kind"] == "histogram"
+        sample = snap["samples"][0]
+        assert sample["labels"] == {"stage": "admit"}
+        assert sample["count"] == 1
+        # both dispatchers and the tracker must agree on the shape
+        assert family.bucket_width == STAGE_BUCKET_WIDTH
+        assert family.num_buckets == STAGE_NUM_BUCKETS
+
+    def test_stage_names_cover_the_pipeline(self):
+        assert STAGES == (
+            "admit", "journal", "queue_accept", "queue_destination", "deliver"
+        )
+
+
+class TestStageReport:
+    def test_unobserved_stages_are_vacuously_met(self):
+        tracker = SloTracker(MetricsRegistry())
+        report = tracker.stage_report()
+        assert set(report) == set(STAGES)
+        for entry in report.values():
+            assert entry["count"] == 0
+            assert entry["met"] is True
+
+    def test_stage_within_objective_is_met(self):
+        metrics = MetricsRegistry()
+        _observe(metrics, "admit", [0.01] * 100)
+        report = SloTracker(metrics).stage_report()
+        assert report["admit"]["met"] is True
+        assert report["admit"]["p99"] <= report["admit"]["objective_p99"]
+
+    def test_stage_over_objective_is_missed(self):
+        metrics = MetricsRegistry()
+        # default admit objective is p99 <= 0.10s
+        _observe(metrics, "admit", [0.5] * 100)
+        report = SloTracker(metrics).stage_report()
+        assert report["admit"]["met"] is False
+        assert report["admit"]["p99"] > 0.10
+
+    def test_overflow_bucket_reports_inf_and_misses(self):
+        metrics = MetricsRegistry()
+        beyond = STAGE_BUCKET_WIDTH * STAGE_NUM_BUCKETS * 10
+        _observe(metrics, "deliver", [beyond] * 10)
+        report = SloTracker(metrics).stage_report()
+        assert math.isinf(report["deliver"]["p99"])
+        assert report["deliver"]["met"] is False
+
+    def test_custom_policy_overrides_objectives(self):
+        metrics = MetricsRegistry()
+        _observe(metrics, "admit", [0.5] * 100)
+        lax = SloPolicy(objectives=(StageObjective("admit", p99=5.0),))
+        report = SloTracker(metrics, policy=lax).stage_report()
+        assert report["admit"]["met"] is True
+        # stages without a declared objective carry no verdict
+        assert "met" not in report["journal"]
+
+
+class TestDeliveryReport:
+    def test_no_traffic_means_full_budget(self):
+        delivery = SloTracker(MetricsRegistry()).delivery_report()
+        assert delivery["total"] == 0
+        assert delivery["success_ratio"] == 1.0
+        assert delivery["met"] is True
+        assert delivery["error_budget"]["burn_rate"] == 0.0
+
+    def test_budget_arithmetic(self):
+        metrics = MetricsRegistry()
+        metrics.counter("msgd_delivered_total").labels(dest="a").inc(998)
+        metrics.counter("msgd_dropped_total").labels(reason="shed").inc(2)
+        delivery = SloTracker(metrics).delivery_report()
+        assert delivery["total"] == 1000
+        assert delivery["success_ratio"] == 0.998
+        # objective 99.9% -> budget 0.1%; 0.2% dropped burns it 2x over
+        assert delivery["met"] is False
+        budget = delivery["error_budget"]
+        assert math.isclose(budget["allowed"], 0.001)
+        assert math.isclose(budget["consumed"], 0.002)
+        assert math.isclose(budget["burn_rate"], 2.0)
+        assert budget["remaining_fraction"] == 0.0
+
+    def test_sums_across_labelled_children(self):
+        metrics = MetricsRegistry()
+        metrics.counter("msgd_delivered_total").labels(dest="a").inc(500)
+        metrics.counter("msgd_delivered_total").labels(dest="b").inc(499)
+        metrics.counter("msgd_dropped_total").labels(reason="expired").inc(1)
+        delivery = SloTracker(metrics).delivery_report()
+        assert delivery["delivered"] == 999
+        assert delivery["met"] is True
+        assert math.isclose(
+            delivery["error_budget"]["burn_rate"], 1.0, rel_tol=1e-6
+        )
+
+
+class TestSnapshot:
+    def test_met_requires_every_objective(self):
+        metrics = MetricsRegistry()
+        metrics.counter("msgd_delivered_total").labels(dest="a").inc(100)
+        _observe(metrics, "admit", [0.01] * 10)
+        tracker = SloTracker(metrics)
+        assert tracker.snapshot()["met"] is True
+        _observe(metrics, "deliver", [9.0] * 10)  # blow the deliver objective
+        snap = tracker.snapshot()
+        assert snap["met"] is False
+        assert snap["stages"]["deliver"]["met"] is False
+        assert snap["delivery"]["met"] is True
+
+    def test_disabled_registry_degrades_to_vacuous_pass(self):
+        snap = SloTracker(MetricsRegistry(enabled=False)).snapshot()
+        assert snap["met"] is True
+        assert snap["delivery"]["total"] == 0
