@@ -1,0 +1,95 @@
+"""Long-poll client swarm for ``bench_aio_c10k`` — run as a subprocess.
+
+Opens N concurrent connections to a WS-MsgBox endpoint, parks a
+long-poll ``take`` on every one, and reads the responses.  Lives in its
+own process so its N client sockets come out of a separate file
+descriptor table from the server's N accepted sockets (each side alone
+approaches a typical RLIMIT_NOFILE).
+
+Usage: ``python _c10k_swarm.py <port> <clients> <wait_s> <mailbox_id>``
+Prints one JSON object on stdout: connected/responded/error counts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+
+_CONNECT_RAMP = 256  # concurrent connect attempts in flight
+_CONNECT_RETRIES = 20
+
+
+def build_take_bytes(port: int, mailbox_id: str, wait_s: float) -> bytes:
+    from repro.http import Headers, HttpRequest
+    from repro.http.wire import serialize_request
+    from repro.msgbox.service import MSGBOX_NS
+    from repro.soap import RpcRequest, build_rpc_request
+
+    envelope = build_rpc_request(
+        RpcRequest(
+            MSGBOX_NS,
+            "take",
+            [
+                ("mailboxId", mailbox_id),
+                ("maxMessages", "1"),
+                ("waitSeconds", f"{wait_s:.3f}"),
+            ],
+        )
+    )
+    headers = Headers()
+    headers.set("Content-Type", envelope.version.content_type)
+    headers.set("Host", f"127.0.0.1:{port}")
+    # one exchange then EOF: the reader below needs no HTTP framing
+    headers.set("Connection", "close")
+    request = HttpRequest(
+        "POST", "/mailbox", headers=headers, body=envelope.to_bytes()
+    )
+    return serialize_request(request)
+
+
+async def swarm(port: int, clients: int, wait_s: float, mailbox_id: str) -> dict:
+    request_bytes = build_take_bytes(port, mailbox_id, wait_s)
+    ramp = asyncio.Semaphore(_CONNECT_RAMP)
+    stats = {"connected": 0, "responded": 0, "errors": 0}
+
+    async def poller() -> None:
+        try:
+            async with ramp:
+                for attempt in range(_CONNECT_RETRIES):
+                    try:
+                        reader, writer = await asyncio.open_connection(
+                            "127.0.0.1", port
+                        )
+                        break
+                    except OSError:
+                        if attempt == _CONNECT_RETRIES - 1:
+                            raise
+                        # listen backlog overflow under the connect storm:
+                        # back off and retry
+                        await asyncio.sleep(0.05 * (attempt + 1))
+                writer.write(request_bytes)
+                await writer.drain()
+            stats["connected"] += 1
+            body = await reader.read()  # Connection: close → read to EOF
+            if b" 200 " in body.split(b"\r\n", 1)[0]:
+                stats["responded"] += 1
+            else:
+                stats["errors"] += 1
+            writer.close()
+        except (OSError, asyncio.IncompleteReadError):
+            stats["errors"] += 1
+
+    await asyncio.gather(*(poller() for _ in range(clients)))
+    return stats
+
+
+def main() -> None:
+    port, clients = int(sys.argv[1]), int(sys.argv[2])
+    wait_s, mailbox_id = float(sys.argv[3]), sys.argv[4]
+    stats = asyncio.run(swarm(port, clients, wait_s, mailbox_id))
+    print(json.dumps(stats))
+
+
+if __name__ == "__main__":
+    main()

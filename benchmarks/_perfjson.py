@@ -22,3 +22,39 @@ def write_bench_json(name: str, payload: dict) -> pathlib.Path:
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
     return path
+
+
+def merge_bench_json(name: str, updates: dict) -> pathlib.Path:
+    """Merge ``updates`` into an existing ``BENCH_<name>.json``.
+
+    Lets two tests in one benchmark module contribute sections to one
+    artifact without caring which ran first (or alone)."""
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    payload: dict = {"benchmark": name}
+    if path.exists():
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except ValueError:
+            pass  # torn artifact from a dead run: start over
+    payload.update(updates)
+    return write_bench_json(name, payload)
+
+
+def fd_soft_limit() -> int | None:
+    """The process's RLIMIT_NOFILE soft limit (None where unsupported)."""
+    try:
+        import resource
+    except ImportError:  # non-POSIX platform
+        return None
+    try:
+        return resource.getrlimit(resource.RLIMIT_NOFILE)[0]
+    except (OSError, ValueError):
+        return None
+
+
+def write_bench_skipped(name: str, reason: str, **details) -> pathlib.Path:
+    """Record a skipped benchmark in its artifact — a missing JSON reads
+    as "never ran", a ``skipped`` entry as "ran and declined, here's why"."""
+    return write_bench_json(
+        name, {"benchmark": name, "skipped": True, "reason": reason, **details}
+    )

@@ -108,3 +108,77 @@ def test_pipelined_drain_speedup(benchmark, paper_scale, record_report):
     assert speedup >= 2.0
     # every message resolves the same logical name: near-perfect cache hits
     assert piped["cache"]["hit_rate"] > 0.90
+
+
+def _tcp_echo_round_trips(messages: int, nodelay: bool) -> dict:
+    """Sequential small POSTs over real loopback TCP with Nagle's
+    algorithm enabled or disabled on both ends."""
+    import time
+
+    from repro.http import Headers, HttpRequest, HttpResponse
+    from repro.rt.client import HttpClient
+    from repro.rt.server import HttpServer
+    from repro.transport.tcp import TcpConnector, TcpListener
+
+    listener = TcpListener("127.0.0.1:0", nodelay=nodelay)
+    server = HttpServer(
+        listener, lambda request, peer: HttpResponse(status=202), workers=4
+    ).start()
+    client = HttpClient(TcpConnector(nodelay=nodelay))
+    url = f"http://{listener.endpoint}/echo"
+    try:
+        t0 = time.perf_counter()
+        for i in range(messages):
+            response = client.request(
+                url,
+                HttpRequest(
+                    "POST", "/echo", headers=Headers(), body=b"<m>%d</m>" % i
+                ),
+            )
+            assert response.status == 202
+        elapsed = time.perf_counter() - t0
+    finally:
+        client.close()
+        server.stop()
+    return {
+        "delivered": messages,
+        "wall_seconds": round(elapsed, 4),
+        "msgs_per_sec": round(messages / elapsed, 1) if elapsed else 0.0,
+    }
+
+
+def test_tcp_nodelay_before_after(benchmark, paper_scale, record_report):
+    """Informational before/after for the TCP_NODELAY knob on the real
+    TCP transport (client connector and server listener together).
+
+    Strict request/response ping-pong rarely trips Nagle on loopback —
+    each small write departs with no unacknowledged data in flight — so
+    no speedup is gated here; the artifact row exists to catch the
+    opposite accident: a transport change that re-introduces a
+    Nagle/delayed-ACK stall would crater the ``nodelay_on`` figure
+    against history."""
+    messages = 600 if paper_scale else 200
+
+    def run():
+        return {
+            "nodelay_off": _tcp_echo_round_trips(messages, nodelay=False),
+            "nodelay_on": _tcp_echo_round_trips(messages, nodelay=True),
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = ["variant\tdelivered\twall_s\tmsgs/s"]
+    for label in ("nodelay_off", "nodelay_on"):
+        v = out[label]
+        rows.append(
+            f"{label}\t{v['delivered']}\t{v['wall_seconds']:.3f}\t"
+            f"{v['msgs_per_sec']:.0f}"
+        )
+    record_report("tcp_nodelay", "\n".join(rows))
+    from _perfjson import merge_bench_json
+
+    merge_bench_json(
+        "pipeline_drain",
+        {"tcp_nodelay": [dict(out[label], variant=label) for label in out]},
+    )
+    assert out["nodelay_on"]["delivered"] == messages
+    assert out["nodelay_off"]["delivered"] == messages

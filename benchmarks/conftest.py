@@ -33,6 +33,35 @@ def paper_scale(request) -> bool:
 
 
 @pytest.fixture
+def require_fds():
+    """Guard for connection-scaling benchmarks: skip — loudly, and with a
+    ``skipped`` record in the benchmark's JSON artifact — when the file
+    descriptor limit cannot hold the requested client count.  A benchmark
+    that silently OOM-kills itself on EMFILE half-way through looks like
+    a perf regression; a recorded skip looks like what it is."""
+
+    def _require(bench_name: str, clients: int, headroom: int = 256) -> int:
+        import _perfjson
+
+        limit = _perfjson.fd_soft_limit()
+        wanted = clients + headroom
+        if limit is not None and limit < wanted:
+            reason = (
+                f"RLIMIT_NOFILE soft limit is {limit} but {bench_name} needs "
+                f"~{wanted} fds ({clients} client connections + {headroom} "
+                f"headroom); raise it (ulimit -n {wanted}) to run this "
+                "benchmark"
+            )
+            _perfjson.write_bench_skipped(
+                bench_name, reason, fd_limit=limit, clients=clients
+            )
+            pytest.skip(reason)
+        return limit if limit is not None else wanted
+
+    return _require
+
+
+@pytest.fixture
 def record_report():
     """Write an experiment report to benchmarks/out/<name>.txt and stdout."""
 

@@ -1,0 +1,33 @@
+"""The asyncio runtime backend: C10k on one core.
+
+Third runtime over the shared sans-io wire protocol (after the threaded
+``repro.rt`` and the discrete-event ``repro.simnet``): a single-threaded
+event loop multiplexes every connection, so the thread-per-connection
+ceiling the paper hit — WsThreads/CxThreads stacks exhausting the heap
+under firewalled long-poll clients — disappears.  The SOAP application
+layer (:class:`~repro.rt.service.SoapHttpApp`), the envelope fast path,
+the journal, and the whole observability plane run on the loop verbatim;
+only the I/O substrate changes.
+
+- :class:`AioHttpServer` — accept loop + per-connection tasks.
+- :class:`AioHttpClient` / :class:`AioConnectionLease` — pooled,
+  pipelining client (semantic twin of the rt client).
+- :class:`AioMsgDispatcher` — the MSG-Dispatcher on loop tasks.
+- :class:`AioMsgBoxService` — WS-MsgBox whose long polls park coroutines.
+- :class:`AioLoopThread` — embed the loop in a synchronous program.
+"""
+
+from repro.aio.client import AioConnectionLease, AioHttpClient
+from repro.aio.dispatcher import AioMsgDispatcher
+from repro.aio.msgbox import AioMsgBoxService
+from repro.aio.runtime import AioLoopThread
+from repro.aio.server import AioHttpServer
+
+__all__ = [
+    "AioConnectionLease",
+    "AioHttpClient",
+    "AioHttpServer",
+    "AioLoopThread",
+    "AioMsgBoxService",
+    "AioMsgDispatcher",
+]

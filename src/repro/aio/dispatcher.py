@@ -1,0 +1,276 @@
+"""MSG-Dispatcher on an event loop: tasks where the paper had thread pools.
+
+:class:`AioMsgDispatcher` subclasses :class:`~repro.core.MsgDispatcher`
+and replaces only the *execution* substrate:
+
+- the CxThread pool becomes one routing task draining the (unchanged,
+  thread-safe) accept queue, woken by the queue's listener hook instead
+  of blocking in ``get()``;
+- each WsThread becomes a per-destination writer task, created and
+  retired under the same ``ws_threads`` slot budget and the same
+  ``destination_idle_ttl``;
+- the hold pump becomes a task driving the store's split-phase claim API
+  (:meth:`take_due` / :meth:`complete` / :meth:`reschedule`);
+- delivery awaits an :class:`~repro.aio.client.AioHttpClient` instead of
+  blocking on the threaded one.
+
+Everything semantic is inherited verbatim: admission shedding and the
+journal-before-ack protocol (``_admit``), routing/rewriting/correlation
+(``_route_one``), the breaker gate, the batch settle bookkeeping, hold
+parking, dead-letter taxonomy, metrics, spans, and flight-recorder
+events.  Because admission runs synchronous, thread-safe code, ``handle``
+can be called from *any* thread — the HTTP edge may live on the loop
+(:class:`~repro.aio.server.AioHttpServer`) or on threads, and recovery /
+``drain()`` / ``stop()`` work from the outside exactly as they do for
+the threaded dispatcher.
+
+Construct it on the loop (inside a coroutine): the worker tasks bind to
+``asyncio.get_running_loop()``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.core.msg_dispatcher import MsgDispatcher, _Destination, _make_post
+from repro.errors import ReproError, TransportError
+from repro.reliable.breaker import BreakerOpenError
+from repro.util.concurrency import QueueClosed
+
+
+class AioMsgDispatcher(MsgDispatcher):
+    """The asynchronous dispatcher, multiplexed on one event loop."""
+
+    def _start_workers(self, hold_pump_interval: float) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._tasks: set[asyncio.Task] = set()
+        self._dest_events: dict[str, asyncio.Event] = {}
+        self._accept_event = asyncio.Event()
+        self._accept_queue.add_listener(self._wake(self._accept_event))
+        self._spawn(self._acx_loop(), name="aio-cx")
+        if self.hold_store is not None:
+            self._spawn(
+                self._ahold_pump_loop(hold_pump_interval), name="aio-hold-pump"
+            )
+
+    # -- plumbing ----------------------------------------------------------
+    def _wake(self, event: asyncio.Event):
+        """A listener callback that sets ``event`` from any thread."""
+        loop = self._loop
+
+        def _set() -> None:
+            try:
+                loop.call_soon_threadsafe(event.set)
+            except RuntimeError:
+                pass  # loop already closed during shutdown
+
+        return _set
+
+    def _spawn(self, coro, name: str) -> asyncio.Task:
+        task = self._loop.create_task(coro, name=name)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return task
+
+    def stop(self, drain: bool = False, timeout: float = 10.0) -> bool:
+        """Same contract as the base; additionally cancels loop tasks.
+
+        Call from *off* the loop thread (queue closing wakes the tasks;
+        the drain poll would deadlock the loop it is waiting on).
+        """
+        drained = super().stop(drain=drain, timeout=timeout)
+        loop = getattr(self, "_loop", None)
+        if loop is not None and not loop.is_closed():
+            try:
+                loop.call_soon_threadsafe(self._cancel_tasks)
+            except RuntimeError:
+                pass
+        return drained
+
+    def _cancel_tasks(self) -> None:
+        for task in list(self._tasks):
+            task.cancel()
+
+    # -- routing task (the CxThread pool) ----------------------------------
+    async def _acx_loop(self) -> None:
+        while True:
+            try:
+                work = self._accept_queue.get(timeout=0)
+            except TimeoutError:
+                await self._accept_event.wait()
+                self._accept_event.clear()
+                continue
+            except QueueClosed:
+                return
+            # _route_one → _enqueue → _ensure_worker spawns writer tasks
+            self._process_accepted(work)
+            # one queue entry per scheduler turn: a routing storm must not
+            # starve the writer tasks (or 10k pollers) sharing the loop
+            await asyncio.sleep(0)
+
+    # -- writer tasks (the WsThread pool) -----------------------------------
+    def _ensure_worker(self, dest: _Destination) -> None:
+        # runs on the loop thread only (_enqueue is called from the
+        # routing task); the base thread variant is fully overridden
+        if dest.thread is not None and not dest.thread.done():
+            return
+        if not self._ws_slots.acquire(blocking=False):
+            # all writer slots busy; an exiting task adopts this
+            # destination via _adopt_orphan
+            return
+        event = self._dest_events.get(dest.endpoint_key)
+        if event is None:
+            event = asyncio.Event()
+            self._dest_events[dest.endpoint_key] = event
+            dest.queue.add_listener(self._wake(event))
+        event.set()  # there is work now; don't park before checking
+        dest.thread = self._spawn(
+            self._aws_loop(dest, event), name=f"aio-ws-{dest.endpoint_key}"
+        )
+
+    def _adopt_orphan(self) -> None:
+        candidates = [
+            d
+            for d in self._destinations.values()
+            if len(d.queue) and (d.thread is None or d.thread.done())
+        ]
+        for d in candidates:
+            self._ensure_worker(d)
+
+    async def _aws_loop(self, dest: _Destination, event: asyncio.Event) -> None:
+        try:
+            while self._running:
+                try:
+                    batch = dest.queue.get_batch(self.config.batch_size, timeout=0)
+                except TimeoutError:
+                    event.clear()
+                    if len(dest.queue):
+                        continue  # raced a put; don't park on a set flag
+                    try:
+                        await asyncio.wait_for(
+                            event.wait(), self.config.destination_idle_ttl
+                        )
+                    except asyncio.TimeoutError:
+                        return  # idle: release the slot
+                    continue
+                except QueueClosed:
+                    return
+                if self.config.pipeline_batches and len(batch) > 1:
+                    await self._adeliver_batch(batch)
+                else:
+                    for item in batch:
+                        await self._adeliver(item)
+        finally:
+            dest.thread = None
+            self._ws_slots.release()
+            self._adopt_orphan()
+
+    # -- delivery (await the wire, reuse every bookkeeping hook) ------------
+    async def _adeliver(self, item) -> None:
+        if self.breakers is not None and not self.breakers.allow(
+            self._endpoint_key(item.target_url)
+        ):
+            self._breaker_block(item)
+            return
+        self._note_dequeued(item)
+        item.attempts += 1
+        t_send = self.clock.now()
+        try:
+            response = await self.client.request(
+                item.target_url, _make_post(item.envelope_bytes)
+            )
+            if response.status >= 400:
+                raise TransportError(
+                    f"HTTP {response.status} from {item.target_url}"
+                )
+        except (TransportError, ReproError):
+            self._record_outcome(item.target_url, False)
+            await self._ahandle_delivery_failure(item)
+            return
+        self._record_outcome(item.target_url, True)
+        self._finish_delivery(
+            item, response, t_send, self.clock.now(),
+            parent_span_id=item.parent_span_id,
+        )
+
+    async def _adeliver_batch(self, batch: list) -> None:
+        if not self._batch_admitted(batch):
+            return
+        requests = self._prepare_batch(batch)
+        t_burst = self.clock.now()
+        try:
+            lease = await self.client.lease(batch[0].target_url)
+        except (TransportError, ReproError):
+            # no connection at all: every item takes its own failure path
+            self._record_outcome(batch[0].target_url, False)
+            for item in batch:
+                await self._ahandle_delivery_failure(item)
+            return
+        try:
+            outcomes = await lease.pipeline(requests)
+        finally:
+            lease.release()
+        t_done = self.clock.now()
+        for item in self._settle_batch(batch, outcomes, t_burst, t_done):
+            await self._ahandle_delivery_failure(item)
+
+    async def _ahandle_delivery_failure(self, item) -> None:
+        """Non-blocking twin of ``_handle_delivery_failure``: the backoff
+        sleep yields the loop instead of occupying it."""
+        retry = self.config.retry
+        if retry is not None and retry.should_retry(item.attempts):
+            await asyncio.sleep(retry.delay_before(item.attempts + 1))
+            self._requeue_retry(item)
+        else:
+            self._fail_no_retry(item)
+
+    # -- hold pump task ------------------------------------------------------
+    async def _ahold_pump_loop(self, interval: float) -> None:
+        while self._running:
+            try:
+                await self._apump_hold()
+            except Exception:  # noqa: BLE001 - keep the maintenance task up
+                self.counters.inc("internal_errors")
+            await asyncio.sleep(interval)
+
+    async def _apump_hold(self) -> None:
+        """One redelivery sweep via the store's split-phase claim API
+        (same protocol :meth:`HoldRetryStore.pump` drives, awaited)."""
+        now = self.clock.now()
+        for msg in self.hold_store.take_due(now):
+            try:
+                await self._adeliver_held(msg)
+            except (ReproError, BreakerOpenError):
+                self.hold_store.reschedule(msg.message_id, now)
+                continue
+            self.hold_store.complete(msg.message_id)
+
+    async def _adeliver_held(self, msg) -> None:
+        """Awaitable twin of :meth:`MsgDispatcher.deliver_held`."""
+        key = self._endpoint_key(msg.target_url)
+        if self.breakers is not None and not self.breakers.allow(key):
+            raise BreakerOpenError(f"breaker open for {key}")
+        try:
+            response = await self.client.request(
+                msg.target_url, _make_post(msg.envelope_bytes)
+            )
+            if response.status >= 400:
+                raise TransportError(
+                    f"HTTP {response.status} from {msg.target_url}"
+                )
+        except (TransportError, ReproError):
+            if self.breakers is not None:
+                self.breakers.record(key, False)
+            raise
+        if self.breakers is not None:
+            self.breakers.record(key, True)
+        self.counters.inc("held_redelivered")
+
+    # -- introspection -------------------------------------------------------
+    def active_destinations(self) -> int:
+        with self._lock:
+            return sum(
+                1
+                for d in self._destinations.values()
+                if d.thread is not None and not d.thread.done()
+            )

@@ -291,6 +291,23 @@ class MsgDispatcher:
         self._lock = threading.Lock()
         self._ws_slots = threading.Semaphore(self.config.ws_threads)
         self._running = True
+        if self.hold_store is not None and (
+            getattr(self.hold_store, "_deliver", True) is None
+        ):
+            # a store constructed without a deliver function binds to
+            # this dispatcher's breaker-aware redelivery path
+            self.hold_store.bind_deliver(self.deliver_held)
+        self._start_workers(hold_pump_interval)
+        if self.durable is not None and recover:
+            self.recover()
+
+    def _start_workers(self, hold_pump_interval: float) -> None:
+        """Spawn the CxThread pool and (when reliable) the hold pump.
+
+        Subclass seam: the asyncio backend overrides this to schedule
+        loop tasks instead of threads — everything upstream (admission,
+        journaling, queues) is thread-safe and shared verbatim.
+        """
         self._cx_threads = [
             threading.Thread(target=self._cx_loop, name=f"cx-{i}", daemon=True)
             for i in range(self.config.cx_threads)
@@ -298,10 +315,6 @@ class MsgDispatcher:
         for t in self._cx_threads:
             t.start()
         if self.hold_store is not None:
-            if getattr(self.hold_store, "_deliver", True) is None:
-                # a store constructed without a deliver function binds to
-                # this dispatcher's breaker-aware redelivery path
-                self.hold_store.bind_deliver(self.deliver_held)
             self._hold_pump = threading.Thread(
                 target=self._hold_pump_loop,
                 args=(hold_pump_interval,),
@@ -309,8 +322,6 @@ class MsgDispatcher:
                 daemon=True,
             )
             self._hold_pump.start()
-        if self.durable is not None and recover:
-            self.recover()
 
     # -- lifecycle ----------------------------------------------------------
     def stop(self, drain: bool = False, timeout: float = 10.0) -> bool:
@@ -504,40 +515,46 @@ class MsgDispatcher:
     def _cx_loop(self) -> None:
         while True:
             try:
-                envelope, path, trace, t_enq, jseq = self._accept_queue.get()
+                work = self._accept_queue.get()
             except QueueClosed:
                 return
-            t_deq = self.clock.now()
-            self._m_queue_wait.labels(queue="accept").observe(t_deq - t_enq)
-            self._m_stage_queue_accept.observe(t_deq - t_enq)
-            if trace is not None:
-                self.traces.record(
-                    trace.trace_id, "queue-wait", "msgd",
-                    t_enq, t_deq,
-                    parent_id=trace.parent_span_id, queue="accept",
-                )
-            try:
-                self._route_one(envelope, path, trace, t_deq, journal_seq=jseq)
-            except ReproError:
-                self.counters.inc("dropped_unroutable")
-                self._m_dropped.labels(reason="unroutable").inc()
-                self._dead_letter(
-                    jseq, "unroutable",
-                    trace_id=trace.trace_id if trace else None,
-                )
-                log_event(
-                    self._log, logging.WARNING, "drop",
-                    trace=trace.trace_id if trace else None,
-                    reason="unroutable", path=path,
-                )
-            except Exception:  # noqa: BLE001 - keep pool threads alive
-                self.counters.inc("internal_errors")
-                # poison, not transient: replaying it would fail the same
-                # way forever, so it goes to the dead-letter queue
-                self._dead_letter(
-                    jseq, "internal_error",
-                    trace_id=trace.trace_id if trace else None,
-                )
+            self._process_accepted(work)
+
+    def _process_accepted(self, work: tuple) -> None:
+        """Route one accepted-queue entry (shared by thread and loop
+        backends; everything in here is non-blocking)."""
+        envelope, path, trace, t_enq, jseq = work
+        t_deq = self.clock.now()
+        self._m_queue_wait.labels(queue="accept").observe(t_deq - t_enq)
+        self._m_stage_queue_accept.observe(t_deq - t_enq)
+        if trace is not None:
+            self.traces.record(
+                trace.trace_id, "queue-wait", "msgd",
+                t_enq, t_deq,
+                parent_id=trace.parent_span_id, queue="accept",
+            )
+        try:
+            self._route_one(envelope, path, trace, t_deq, journal_seq=jseq)
+        except ReproError:
+            self.counters.inc("dropped_unroutable")
+            self._m_dropped.labels(reason="unroutable").inc()
+            self._dead_letter(
+                jseq, "unroutable",
+                trace_id=trace.trace_id if trace else None,
+            )
+            log_event(
+                self._log, logging.WARNING, "drop",
+                trace=trace.trace_id if trace else None,
+                reason="unroutable", path=path,
+            )
+        except Exception:  # noqa: BLE001 - keep pool threads alive
+            self.counters.inc("internal_errors")
+            # poison, not transient: replaying it would fail the same
+            # way forever, so it goes to the dead-letter queue
+            self._dead_letter(
+                jseq, "internal_error",
+                trace_id=trace.trace_id if trace else None,
+            )
 
     def _route_one(
         self,
@@ -883,21 +900,9 @@ class MsgDispatcher:
         distinct trace in the batch) parenting the per-item ``deliver``
         spans.
         """
-        if self.breakers is not None and not self.breakers.allow(
-            self._endpoint_key(batch[0].target_url)
-        ):
-            # the whole batch shares one destination; park it all
-            for item in batch:
-                self._breaker_block(item)
+        if not self._batch_admitted(batch):
             return
-        for item in batch:
-            self._note_dequeued(item)
-            item.attempts += 1
-        requests = []
-        for item in batch:
-            req = _make_post(item.envelope_bytes)
-            self.client.prepare(item.target_url, req)
-            requests.append(req)
+        requests = self._prepare_batch(batch)
         t_burst = self.clock.now()
         try:
             lease = self.client.lease(batch[0].target_url)
@@ -912,7 +917,42 @@ class MsgDispatcher:
         finally:
             lease.release()
         t_done = self.clock.now()
+        for item in self._settle_batch(batch, outcomes, t_burst, t_done):
+            self._handle_delivery_failure(item)
 
+    def _batch_admitted(self, batch: "list[_OutboundItem]") -> bool:
+        """Breaker gate for a whole batch (one shared destination)."""
+        if self.breakers is not None and not self.breakers.allow(
+            self._endpoint_key(batch[0].target_url)
+        ):
+            # the whole batch shares one destination; park it all
+            for item in batch:
+                self._breaker_block(item)
+            return False
+        return True
+
+    def _prepare_batch(self, batch: "list[_OutboundItem]") -> list:
+        """Count attempts and build the burst's prepared requests."""
+        for item in batch:
+            self._note_dequeued(item)
+            item.attempts += 1
+        requests = []
+        for item in batch:
+            req = _make_post(item.envelope_bytes)
+            self.client.prepare(item.target_url, req)
+            requests.append(req)
+        return requests
+
+    def _settle_batch(
+        self,
+        batch: "list[_OutboundItem]",
+        outcomes: list,
+        t_burst: float,
+        t_done: float,
+    ) -> "list[_OutboundItem]":
+        """Record spans/outcomes for a finished burst; returns the items
+        that failed (the caller applies retry/hold/drop handling, which
+        may need to sleep — blocking here would stall an event loop)."""
         burst_sid = None
         traced = {i.trace.trace_id: i for i in batch if i.trace is not None}
         if traced:
@@ -924,6 +964,7 @@ class MsgDispatcher:
                     span_id=burst_sid, parent_id=first.parent_span_id,
                     dest=batch[0].target_url, size=len(batch),
                 )
+        failed: list[_OutboundItem] = []
         for item, outcome in zip(batch, outcomes):
             ok = isinstance(outcome, HttpResponse) and outcome.status < 400
             self._record_outcome(item.target_url, ok)
@@ -936,7 +977,8 @@ class MsgDispatcher:
                     ),
                 )
             else:
-                self._handle_delivery_failure(item)
+                failed.append(item)
+        return failed
 
     def _record_outcome(self, target_url: str, ok: bool) -> None:
         if self.breakers is not None:
@@ -1005,19 +1047,30 @@ class MsgDispatcher:
 
     def _handle_delivery_failure(self, item: _OutboundItem) -> None:
         """One failed attempt: in-line retry, hold-store parking, or drop."""
-        trace_id = item.trace.trace_id if item.trace else None
         retry = self.config.retry
         if retry is not None and retry.should_retry(item.attempts):
+            # the async backend mirrors this branch with a non-blocking
+            # sleep; the split keeps the bookkeeping identical on both
             self.clock.sleep(retry.delay_before(item.attempts + 1))
-            self._enqueue_retry(item)
-            self.counters.inc("retries")
-            self._m_retries.inc()
-            log_event(
-                self._log, logging.INFO, "retry",
-                trace=trace_id, dest=item.target_url,
-                attempts=item.attempts,
-            )
-        elif self.hold_store is not None and item.message_id is not None:
+            self._requeue_retry(item)
+        else:
+            self._fail_no_retry(item)
+
+    def _requeue_retry(self, item: _OutboundItem) -> None:
+        """Count and re-queue one in-line retry (after the backoff sleep)."""
+        self._enqueue_retry(item)
+        self.counters.inc("retries")
+        self._m_retries.inc()
+        log_event(
+            self._log, logging.INFO, "retry",
+            trace=item.trace.trace_id if item.trace else None,
+            dest=item.target_url, attempts=item.attempts,
+        )
+
+    def _fail_no_retry(self, item: _OutboundItem) -> None:
+        """Retry budget spent (or none configured): park or drop."""
+        trace_id = item.trace.trace_id if item.trace else None
+        if self.hold_store is not None and item.message_id is not None:
             # reliable mode: park the message for scheduled redelivery
             self._park_in_hold(item)
             self.counters.inc("held_for_retry")

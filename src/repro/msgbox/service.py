@@ -169,6 +169,12 @@ class MsgBoxService:
             return self._handle_rpc(envelope, ctx)
         return self._handle_deposit(envelope, ctx)
 
+    def _wait_for_message(self, mailbox_id: str, timeout: float) -> bool:
+        """Long-poll wait seam.  The threaded service blocks its worker
+        thread here; the asyncio subclass has already awaited the arrival
+        before the take runs and overrides this with a no-op."""
+        return self.store.wait_for_message(mailbox_id, timeout)
+
     # -- RPC operations (create/take/peek/destroy) ------------------------
     def _handle_rpc(self, envelope: Envelope, ctx: RequestContext) -> Envelope:
         call = parse_rpc_request(envelope)
@@ -194,7 +200,7 @@ class MsgBoxService:
                 # saves the firewalled client a storm of empty polls
                 wait_s = float(call.param("waitSeconds", "0") or "0")
                 if wait_s > 0:
-                    self.store.wait_for_message(
+                    self._wait_for_message(
                         mailbox_id, min(wait_s, self.max_wait_seconds)
                     )
                 messages = self.store.take(mailbox_id, max_messages=limit)

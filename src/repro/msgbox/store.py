@@ -16,7 +16,7 @@ from __future__ import annotations
 import collections
 import threading
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.errors import MailboxNotFound, MailboxQuotaExceeded
 from repro.store.journal import ABSORBED, DEAD, DELIVERED
@@ -36,6 +36,14 @@ class StoredMessage:
     expires_at: float | None = None
     #: sequence number in the durable journal, when there is one
     journal_seq: int | None = None
+
+
+@dataclass
+class _Waiter:
+    """Handle for one registered long-poll arrival callback."""
+
+    mailbox_id: str
+    callback: Callable[[], None]
 
 
 @dataclass
@@ -73,6 +81,60 @@ class MailboxStore:
         self._boxes: dict[str, _Mailbox] = {}
         self._lock = threading.Lock()
         self._arrival = threading.Condition(self._lock)
+        #: one-shot long-poll waiters keyed by mailbox id.  Each callback
+        #: fires (outside the lock) at most once, on the next deposit,
+        #: recovery restore, or destroy of that mailbox — the asyncio
+        #: runtime parks a loop wakeup here instead of blocking a thread
+        #: in :meth:`wait_for_message`.
+        self._waiters: dict[str, list[_Waiter]] = {}
+
+    # -- long-poll waiters -------------------------------------------------
+    def add_arrival_waiter(
+        self, mailbox_id: str, callback: Callable[[], None]
+    ) -> object:
+        """Register a one-shot callback for the next event on a mailbox.
+
+        The callback fires after the next :meth:`deposit`, :meth:`recover`
+        restore, or :meth:`destroy` touching ``mailbox_id`` — it signals
+        "look again", not "a message is yours" (another taker may win the
+        race, and destroy wakes waiters so they can observe
+        :class:`~repro.errors.MailboxNotFound`).  Callbacks run outside
+        the store lock on the depositor's thread and must not block;
+        thread-hopping (``loop.call_soon_threadsafe``) is the caller's
+        job.  Returns a handle for :meth:`remove_arrival_waiter`.
+        """
+        handle = _Waiter(mailbox_id, callback)
+        with self._lock:
+            self._waiters.setdefault(mailbox_id, []).append(handle)
+        return handle
+
+    def remove_arrival_waiter(self, handle: object) -> None:
+        """Deregister a waiter (idempotent — fired waiters are gone)."""
+        if not isinstance(handle, _Waiter):
+            return
+        with self._lock:
+            bucket = self._waiters.get(handle.mailbox_id)
+            if bucket is None:
+                return
+            try:
+                bucket.remove(handle)
+            except ValueError:
+                return
+            if not bucket:
+                del self._waiters[handle.mailbox_id]
+
+    def _pop_waiters(self, mailbox_id: str) -> list["_Waiter"]:
+        """Under the lock: detach every waiter for a mailbox."""
+        return self._waiters.pop(mailbox_id, [])
+
+    @staticmethod
+    def _fire_waiters(waiters: list["_Waiter"]) -> None:
+        """Outside the lock: invoke detached waiters, swallowing errors."""
+        for waiter in waiters:
+            try:
+                waiter.callback()
+            except Exception:  # noqa: BLE001 - a dead waiter can't block deposits
+                pass
 
     # -- lifecycle (Fig. 2: steps 1 and 4) -------------------------------
     def create(self) -> str:
@@ -92,6 +154,9 @@ class MailboxStore:
             if box is None:
                 raise MailboxNotFound(mailbox_id)
             remaining = list(box.messages)
+            waiters = self._pop_waiters(mailbox_id)
+        # wake long-pollers so they observe MailboxNotFound promptly
+        self._fire_waiters(waiters)
         if self.durable is not None:
             # the client chose to discard what was left; retire the
             # records so recovery does not resurrect a destroyed mailbox
@@ -141,10 +206,12 @@ class MailboxStore:
                 box.bytes_used += len(data)
                 box.deposits += 1
                 self._arrival.notify_all()
+                waiters = self._pop_waiters(mailbox_id)
         except (MailboxNotFound, MailboxQuotaExceeded):
             if jseq is not None:
                 self.durable.mark(jseq, ABSORBED, reason="rejected")
             raise
+        self._fire_waiters(waiters)
 
     def take(self, mailbox_id: str, max_messages: int = 10) -> list[bytes]:
         """Remove and return up to ``max_messages`` oldest messages."""
@@ -246,6 +313,8 @@ class MailboxStore:
                 )
                 box.bytes_used += len(rec.body)
                 self._arrival.notify_all()
+                waiters = self._pop_waiters(rec.target)
+            self._fire_waiters(waiters)
             restored += 1
         return restored
 

@@ -10,9 +10,10 @@ different paths exactly as the paper co-locates them.
 
 from __future__ import annotations
 
+import inspect
 import traceback
 from dataclasses import dataclass, field
-from typing import Callable, Protocol
+from typing import Awaitable, Callable, Protocol
 
 from repro.errors import OverloadedError, ReproError, SoapError, XmlError
 from repro.http import Headers, HttpRequest, HttpResponse
@@ -138,7 +139,12 @@ class SoapHttpApp:
         return None
 
     # -- HttpServer handler entry point ----------------------------------
-    def handle_request(self, request: HttpRequest, peer: str | None = None) -> HttpResponse:
+    def handle_request(
+        self, request: HttpRequest, peer: str | None = None
+    ) -> "HttpResponse | Awaitable[HttpResponse]":
+        """Route one request.  Always returns an :class:`HttpResponse` for
+        sync services; returns an awaitable only when a mounted service
+        itself returned one (async-aware servers must await it)."""
         path = request.target.split("?", 1)[0]
         if request.method == "GET":
             for prefix, handler in self._pages:
@@ -181,26 +187,48 @@ class SoapHttpApp:
         ctx = RequestContext(path=path, http_request=request, peer=peer)
         try:
             reply = service.handle(envelope, ctx)
-        except OverloadedError as exc:
+        except Exception as exc:  # noqa: BLE001 - fault barrier at HTTP edge
+            return self._fault_response(exc, envelope.version)
+        if inspect.isawaitable(reply):
+            # A mounted service chose the asyncio escape hatch: it returned
+            # a coroutine instead of blocking (e.g. a long-poll take on the
+            # event loop).  The sync contract is unchanged for every other
+            # caller; only an async-aware server (AioHttpServer) will see —
+            # and must await — a coroutine here, with the same fault
+            # barrier applied to the awaited result.
+            return self._finish_async(reply, envelope.version, binary_caller)
+        return self._reply_response(reply, envelope.version, binary_caller)
+
+    def _fault_response(
+        self, exc: BaseException, version: SoapVersion
+    ) -> HttpResponse:
+        """The service fault barrier, shared by sync and async paths."""
+        if isinstance(exc, OverloadedError):
             # Admission control shed the request: the client should back
             # off and retry, so the fault rides a 503 with Retry-After
             # rather than a hard 500.
             response = soap_fault_response(
-                Fault("Server", str(exc)), status=503, version=envelope.version
+                Fault("Server", str(exc)), status=503, version=version
             )
             response.headers.set("Retry-After", f"{exc.retry_after:g}")
             return response
-        except ReproError as exc:
+        if isinstance(exc, ReproError):
             return soap_fault_response(
-                Fault("Server", str(exc)), status=500, version=envelope.version
+                Fault("Server", str(exc)), status=500, version=version
             )
-        except Exception as exc:  # noqa: BLE001 - fault barrier at HTTP edge
-            detail = traceback.format_exc(limit=5)
-            return soap_fault_response(
-                Fault("Server", f"internal error: {exc}", detail=detail),
-                status=500,
-                version=envelope.version,
-            )
+        detail = traceback.format_exc(limit=5)
+        return soap_fault_response(
+            Fault("Server", f"internal error: {exc}", detail=detail),
+            status=500,
+            version=version,
+        )
+
+    def _reply_response(
+        self,
+        reply: "Envelope | None",
+        version: SoapVersion,
+        binary_caller: bool,
+    ) -> HttpResponse:
         if reply is None:
             return HttpResponse(status=202)
         status = 500 if reply.is_fault() else 200
@@ -213,3 +241,15 @@ class SoapHttpApp:
                 status=status, headers=headers, body=encode_envelope(reply)
             )
         return soap_response(reply, status=status)
+
+    async def _finish_async(
+        self,
+        pending: "object",
+        version: SoapVersion,
+        binary_caller: bool,
+    ) -> HttpResponse:
+        try:
+            reply = await pending  # type: ignore[misc]
+        except Exception as exc:  # noqa: BLE001 - same barrier as the sync path
+            return self._fault_response(exc, version)
+        return self._reply_response(reply, version, binary_caller)

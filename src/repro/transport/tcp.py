@@ -14,11 +14,22 @@ from repro.transport.base import Endpoint
 
 
 class TcpStream:
-    """Stream adapter over a connected socket."""
+    """Stream adapter over a connected socket.
 
-    def __init__(self, sock: socket.socket) -> None:
+    ``nodelay`` disables Nagle's algorithm (default).  The protocol
+    writes one fully serialized HTTP message (or a whole pipelined
+    burst) per ``send``, so coalescing never helps — it only adds a
+    delayed-ACK round trip to every small exchange.  The knob exists so
+    the pipelined-drain benchmark can measure that penalty.
+    """
+
+    def __init__(self, sock: socket.socket, nodelay: bool = True) -> None:
         self._sock = sock
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        if nodelay:
+            try:
+                self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:
+                pass  # not a TCP socket (e.g. AF_UNIX): nothing to disable
 
     def send(self, data: bytes) -> None:
         try:
@@ -49,9 +60,15 @@ class TcpStream:
 class TcpListener:
     """Bound listening socket."""
 
-    def __init__(self, endpoint: Endpoint | str, backlog: int = 128) -> None:
+    def __init__(
+        self,
+        endpoint: Endpoint | str,
+        backlog: int = 128,
+        nodelay: bool = True,
+    ) -> None:
         if isinstance(endpoint, str):
             endpoint = Endpoint.parse(endpoint)
+        self._nodelay = nodelay
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         try:
@@ -71,7 +88,7 @@ class TcpListener:
         try:
             self._sock.settimeout(timeout)
             conn, _addr = self._sock.accept()
-            return TcpStream(conn)
+            return TcpStream(conn, nodelay=self._nodelay)
         except socket.timeout:
             raise ConnectionTimeout("accept timed out") from None
         except OSError as exc:
@@ -87,6 +104,9 @@ class TcpListener:
 class TcpConnector:
     """Outbound TCP connection factory."""
 
+    def __init__(self, nodelay: bool = True) -> None:
+        self._nodelay = nodelay
+
     def connect(self, endpoint: Endpoint | str, timeout: float | None = None) -> TcpStream:
         if isinstance(endpoint, str):
             endpoint = Endpoint.parse(endpoint)
@@ -95,7 +115,7 @@ class TcpConnector:
                 (endpoint.host, endpoint.port), timeout=timeout
             )
             sock.settimeout(None)
-            return TcpStream(sock)
+            return TcpStream(sock, nodelay=self._nodelay)
         except socket.timeout:
             raise ConnectionTimeout(f"connect to {endpoint} timed out") from None
         except ConnectionRefusedError as exc:

@@ -38,6 +38,29 @@ class ClosableQueue(Generic[T]):
         self._not_empty = threading.Condition(self._lock)
         self._not_full = threading.Condition(self._lock)
         self._closed = False
+        self._listeners: list[Callable[[], None]] = []
+
+    def add_listener(self, callback: Callable[[], None]) -> None:
+        """Register a wakeup callback fired after every successful put and
+        on :meth:`close`.
+
+        This is the asyncio seam: an event-loop consumer registers
+        ``loop.call_soon_threadsafe(event.set)`` here and waits on the
+        event instead of blocking a thread in :meth:`get` — producers on
+        any thread (HTTP workers, journal replay, hold-store pumps) wake
+        the drain task without polling.  Callbacks run outside the queue
+        lock on the producer's thread and must not block; exceptions are
+        swallowed (a dead loop must not break producers).
+        """
+        with self._lock:
+            self._listeners.append(callback)
+
+    def _notify_listeners(self) -> None:
+        for callback in list(self._listeners):
+            try:
+                callback()
+            except Exception:  # noqa: BLE001 - a dead listener can't stop puts
+                pass
 
     def __len__(self) -> int:
         with self._lock:
@@ -66,7 +89,8 @@ class ClosableQueue(Generic[T]):
                     raise QueueClosed
             self._items.append(item)
             self._not_empty.notify()
-            return True
+        self._notify_listeners()
+        return True
 
     def try_put(self, item: T) -> bool:
         """Non-blocking put; False when full, QueueClosed when closed."""
@@ -77,7 +101,8 @@ class ClosableQueue(Generic[T]):
                 return False
             self._items.append(item)
             self._not_empty.notify()
-            return True
+        self._notify_listeners()
+        return True
 
     def get(self, timeout: float | None = None) -> T:
         """Dequeue one item; raises QueueClosed once closed *and* empty."""
@@ -121,6 +146,7 @@ class ClosableQueue(Generic[T]):
             self._closed = True
             self._not_empty.notify_all()
             self._not_full.notify_all()
+        self._notify_listeners()
 
 
 class RejectedExecution(Exception):

@@ -1,0 +1,1 @@
+"""Tests for the asyncio runtime backend (repro.aio)."""

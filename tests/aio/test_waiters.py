@@ -1,0 +1,99 @@
+"""The synchronous-side async seams: queue listeners and mailbox
+arrival waiters (the hooks the event-loop runtime parks on)."""
+
+import pytest
+
+from repro.errors import MailboxNotFound
+from repro.msgbox import MailboxStore
+from repro.store import MessageJournal
+from repro.util.concurrency import ClosableQueue
+
+
+class TestQueueListeners:
+    def test_listener_fires_on_put_try_put_and_close(self):
+        queue = ClosableQueue(maxsize=4)
+        fired = []
+        queue.add_listener(lambda: fired.append(1))
+        queue.put("a")
+        assert len(fired) == 1
+        queue.try_put("b")
+        assert len(fired) == 2
+        queue.close()
+        assert len(fired) == 3
+
+    def test_listener_exceptions_are_swallowed(self):
+        queue = ClosableQueue(maxsize=4)
+
+        def bad():
+            raise RuntimeError("listener bug")
+
+        fired = []
+        queue.add_listener(bad)
+        queue.add_listener(lambda: fired.append(1))
+        assert queue.put("a") is True  # the put itself is unaffected
+        assert fired == [1]
+
+    def test_rejected_try_put_does_not_notify(self):
+        queue = ClosableQueue(maxsize=1)
+        fired = []
+        queue.put("a")
+        queue.add_listener(lambda: fired.append(1))
+        assert queue.try_put("b") is False  # full: rejected, no wakeup
+        assert fired == []
+
+
+class TestArrivalWaiters:
+    def test_waiter_fires_once_on_deposit(self):
+        store = MailboxStore()
+        box = store.create()
+        fired = []
+        store.add_arrival_waiter(box, lambda: fired.append(1))
+        store.deposit(box, b"<one/>")
+        store.deposit(box, b"<two/>")
+        assert fired == [1]  # one-shot: the second deposit finds no waiter
+
+    def test_remove_is_idempotent_and_prevents_firing(self):
+        store = MailboxStore()
+        box = store.create()
+        fired = []
+        handle = store.add_arrival_waiter(box, lambda: fired.append(1))
+        store.remove_arrival_waiter(handle)
+        store.remove_arrival_waiter(handle)  # second remove is a no-op
+        store.deposit(box, b"<x/>")
+        assert fired == []
+
+    def test_destroy_wakes_waiters(self):
+        """A parked long-poller must wake on destroy to observe
+        MailboxNotFound promptly, not at its wait deadline."""
+        store = MailboxStore()
+        box = store.create()
+        fired = []
+        store.add_arrival_waiter(box, lambda: fired.append(1))
+        store.destroy(box)
+        assert fired == [1]
+        with pytest.raises(MailboxNotFound):
+            store.peek_count(box)
+
+    def test_waiter_callback_errors_do_not_break_deposit(self):
+        store = MailboxStore()
+        box = store.create()
+
+        def bad():
+            raise RuntimeError("waiter bug")
+
+        store.add_arrival_waiter(box, bad)
+        store.deposit(box, b"<x/>")
+        assert store.peek_count(box) == 1
+
+    def test_recover_fires_waiters(self):
+        journal = MessageJournal(sync="lazy", flush_threshold=1)
+        store = MailboxStore(durable=journal)
+        box = store.create()
+        store.deposit(box, b"<x/>")
+
+        fresh = MailboxStore(durable=journal)
+        fired = []
+        fresh.add_arrival_waiter(box, lambda: fired.append(1))
+        assert fresh.recover() == 1
+        assert fired == [1]
+        journal.close()

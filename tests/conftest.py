@@ -25,3 +25,158 @@ def sim() -> Simulator:
 def simnet(sim: Simulator) -> Network:
     """A fresh simulated network on the ``sim`` fixture."""
     return Network(sim)
+
+
+# -- rt/aio backend parameterization ------------------------------------
+#
+# The threaded and asyncio dispatchers claim semantic equivalence; these
+# fixtures make that claim executable by running the same test matrix
+# (ordering, breaker, shed, hold/retry, durable recovery, long-poll)
+# against both backends through one synchronous facade.
+
+
+class _SyncClientAdapter:
+    """Presents a synchronous (test fake or rt) HTTP client to the aio
+    dispatcher: same calls, awaitable where the dispatcher awaits."""
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+
+    def prepare(self, url, request):
+        return self.inner.prepare(url, request)
+
+    async def request(self, url, request):
+        return self.inner.request(url, request)
+
+    async def lease(self, url):
+        return _SyncLeaseAdapter(self.inner.lease(url))
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+class _SyncLeaseAdapter:
+    def __init__(self, inner) -> None:
+        self.inner = inner
+
+    async def pipeline(self, requests):
+        return self.inner.pipeline(requests)
+
+    def release(self) -> None:
+        self.inner.release()
+
+
+class DispatcherBackend:
+    """Constructs a threaded or event-loop dispatcher behind one API."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self.loop_thread = None
+        if kind == "aio":
+            from repro.aio import AioLoopThread
+
+            self.loop_thread = AioLoopThread(name=f"test-{kind}-loop").start()
+
+    def make_dispatcher(self, registry, client, **kwargs):
+        if self.kind == "rt":
+            from repro.core.msg_dispatcher import MsgDispatcher
+
+            return MsgDispatcher(registry, client, **kwargs)
+        from repro.aio import AioHttpClient, AioMsgDispatcher
+
+        if not isinstance(client, AioHttpClient):
+            client = _SyncClientAdapter(client)
+
+        async def build():
+            return AioMsgDispatcher(registry, client, **kwargs)
+
+        return self.loop_thread.run(build())
+
+    def close(self) -> None:
+        if self.loop_thread is not None:
+            self.loop_thread.stop()
+            self.loop_thread = None
+
+
+@pytest.fixture(params=["rt", "aio"])
+def dispatcher_backend(request) -> DispatcherBackend:
+    backend = DispatcherBackend(request.param)
+    yield backend
+    backend.close()
+
+
+class MsgBoxBackend:
+    """Serves a WS-MsgBox on the threaded or asyncio runtime."""
+
+    def __init__(self, kind: str, inproc: InprocNetwork) -> None:
+        self.kind = kind
+        self.inproc = inproc
+        self.loop_thread = None
+        self._servers = []
+        self._clients = []
+        if kind == "aio":
+            from repro.aio import AioLoopThread
+
+            self.loop_thread = AioLoopThread(name="test-msgbox-loop").start()
+
+    def serve(self, store=None, **service_kw):
+        """Start a mailbox service; returns (store, service, MsgBoxClient)."""
+        from repro.msgbox import MailboxStore, MsgBoxClient
+        from repro.rt.client import HttpClient
+        from repro.rt.service import SoapHttpApp
+
+        store = store if store is not None else MailboxStore()
+        app = SoapHttpApp()
+        if self.kind == "rt":
+            from repro.msgbox import MsgBoxService
+            from repro.rt.server import HttpServer
+
+            service = MsgBoxService(store, **service_kw)
+            app.mount("/mailbox", service)
+            server = HttpServer(
+                self.inproc.listen("mb:8500"), app.handle_request, workers=8
+            ).start()
+            self._servers.append(server)
+            http = HttpClient(self.inproc)
+        else:
+            from repro.aio import AioHttpServer, AioMsgBoxService
+            from repro.transport.tcp import TcpConnector
+
+            service = AioMsgBoxService(store, **service_kw)
+            app.mount("/mailbox", service)
+
+            async def boot():
+                srv = AioHttpServer(app.handle_request)
+                await srv.start()
+                return srv
+
+            server = self.loop_thread.run(boot())
+            self._servers.append(server)
+            http = HttpClient(TcpConnector())
+        self._clients.append(http)
+        url = (
+            "http://mb:8500/mailbox"
+            if self.kind == "rt"
+            else server.url + "/mailbox"
+        )
+        service.base_url = url
+        return store, service, MsgBoxClient(http, url)
+
+    def close(self) -> None:
+        for server in self._servers:
+            if self.kind == "rt":
+                server.stop()
+            else:
+                self.loop_thread.run(server.stop())
+        for client in self._clients:
+            client.close()
+        if self.loop_thread is not None:
+            self.loop_thread.stop()
+            self.loop_thread = None
+
+
+@pytest.fixture(params=["rt", "aio"])
+def msgbox_backend(request, inproc) -> MsgBoxBackend:
+    backend = MsgBoxBackend(request.param, inproc)
+    yield backend
+    backend.close()

@@ -1,10 +1,10 @@
-"""Breakers, hold-store parking, and overload shedding on the threaded stack."""
+"""Breakers, hold-store parking, and overload shedding — the same
+semantic matrix asserted against the threaded and asyncio dispatchers
+via the ``dispatcher_backend`` fixture."""
 
 import time
 
-import pytest
-
-from repro.core.msg_dispatcher import MsgDispatcher, MsgDispatcherConfig
+from repro.core.msg_dispatcher import MsgDispatcherConfig
 from repro.core.registry import ServiceRegistry
 from repro.core.rpc_dispatcher import RpcDispatcher
 from repro.errors import TransportError
@@ -47,18 +47,24 @@ def wait_for(predicate, timeout=5.0):
     return False
 
 
-def make_dispatcher(client, metrics, hold_store=None, **config_kw):
+def make_dispatcher(
+    backend, client, metrics, hold_store=None, breaker=None, **kwargs
+):
     registry = ServiceRegistry()
     registry.register("echo", "http://dead:9000/echo")
+    config_kw = {
+        k: kwargs.pop(k) for k in ("max_inflight",) if k in kwargs
+    }
     config = MsgDispatcherConfig(
         cx_threads=1, ws_threads=2, pipeline_batches=False,
-        breaker=BreakerConfig(consecutive_failures=2, open_for=60.0),
+        breaker=breaker
+        or BreakerConfig(consecutive_failures=2, open_for=60.0),
         **config_kw,
     )
-    return MsgDispatcher(
+    return backend.make_dispatcher(
         registry, client, own_address="http://wsd:8000/msg", config=config,
         metrics=metrics, traces=TraceStore(enabled=False),
-        hold_store=hold_store,
+        hold_store=hold_store, **kwargs,
     )
 
 
@@ -69,10 +75,10 @@ def feed(dispatcher, n, seed=1):
         dispatcher.handle(env, RequestContext(path="/msg/echo"))
 
 
-def test_breaker_opens_and_stops_network_attempts():
+def test_breaker_opens_and_stops_network_attempts(dispatcher_backend):
     metrics = MetricsRegistry()
     client = FakeClient(failing=True)
-    dispatcher = make_dispatcher(client, metrics)
+    dispatcher = make_dispatcher(dispatcher_backend, client, metrics)
     try:
         feed(dispatcher, 10)
         # two consecutive failures trip the breaker; the other eight are
@@ -90,13 +96,15 @@ def test_breaker_opens_and_stops_network_attempts():
         dispatcher.stop()
 
 
-def test_open_breaker_parks_messages_in_hold_store():
+def test_open_breaker_parks_messages_in_hold_store(dispatcher_backend):
     metrics = MetricsRegistry()
     client = FakeClient(failing=True)
     hold_store = HoldRetryStore(
         policy=FixedDelay(max_attempts=1000, delay=30.0), default_ttl=600.0
     )
-    dispatcher = make_dispatcher(client, metrics, hold_store=hold_store)
+    dispatcher = make_dispatcher(
+        dispatcher_backend, client, metrics, hold_store=hold_store
+    )
     try:
         feed(dispatcher, 10)
         assert wait_for(
@@ -112,22 +120,16 @@ def test_open_breaker_parks_messages_in_hold_store():
         dispatcher.stop()
 
 
-def test_recovery_closes_breaker_and_redelivers_held():
+def test_recovery_closes_breaker_and_redelivers_held(dispatcher_backend):
     metrics = MetricsRegistry()
     client = FakeClient(failing=True)
     hold_store = HoldRetryStore(
         policy=FixedDelay(max_attempts=1000, delay=0.05), default_ttl=600.0
     )
-    registry = ServiceRegistry()
-    registry.register("echo", "http://dead:9000/echo")
-    config = MsgDispatcherConfig(
-        cx_threads=1, ws_threads=2, pipeline_batches=False,
+    dispatcher = make_dispatcher(
+        dispatcher_backend, client, metrics, hold_store=hold_store,
         breaker=BreakerConfig(consecutive_failures=2, open_for=0.2),
-    )
-    dispatcher = MsgDispatcher(
-        registry, client, own_address="http://wsd:8000/msg", config=config,
-        metrics=metrics, traces=TraceStore(enabled=False),
-        hold_store=hold_store, hold_pump_interval=0.05,
+        hold_pump_interval=0.05,
     )
     try:
         feed(dispatcher, 5)
@@ -145,9 +147,11 @@ def test_recovery_closes_breaker_and_redelivers_held():
         dispatcher.stop()
 
 
-def test_msg_dispatcher_shed_maps_to_503_with_retry_after():
+def test_msg_dispatcher_shed_maps_to_503_with_retry_after(dispatcher_backend):
     metrics = MetricsRegistry()
-    dispatcher = make_dispatcher(FakeClient(), metrics, max_inflight=0)
+    dispatcher = make_dispatcher(
+        dispatcher_backend, FakeClient(), metrics, max_inflight=0
+    )
     app = SoapHttpApp()
     app.mount("/msg", dispatcher)
     try:

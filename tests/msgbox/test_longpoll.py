@@ -6,11 +6,9 @@ import time
 import pytest
 
 from repro.errors import MailboxNotFound
-from repro.msgbox import MailboxStore, MsgBoxClient, MsgBoxService
+from repro.msgbox import MailboxStore
 from repro.msgbox.service import Q_MAILBOX_ID
-from repro.rt.client import HttpClient
-from repro.rt.server import HttpServer
-from repro.rt.service import RequestContext, SoapHttpApp
+from repro.rt.service import RequestContext
 from repro.workload.echo import make_echo_message
 from repro.xmlmini import Element
 
@@ -54,18 +52,13 @@ class TestStoreWait:
 
 
 class TestServiceLongPoll:
+    """The same long-poll contract, asserted against both runtimes: the
+    threaded server parks a worker thread, the aio server parks a
+    coroutine — the client must not be able to tell the difference."""
+
     @pytest.fixture
-    def served(self, inproc):
-        store = MailboxStore()
-        service = MsgBoxService(store, base_url="http://mb:8500/mailbox")
-        app = SoapHttpApp()
-        app.mount("/mailbox", service)
-        server = HttpServer(
-            inproc.listen("mb:8500"), app.handle_request, workers=8
-        ).start()
-        client = MsgBoxClient(HttpClient(inproc), "http://mb:8500/mailbox")
-        yield store, service, client
-        server.stop()
+    def served(self, msgbox_backend):
+        yield msgbox_backend.serve()
 
     def deposit_later(self, service, mailbox_id, delay):
         def run():

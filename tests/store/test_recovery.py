@@ -193,6 +193,45 @@ class TestDispatcherRecovery:
         journal.close()
 
 
+class TestDispatcherRecoveryMatrix:
+    """Journal replay is backend-independent: the threaded and the asyncio
+    dispatcher must both replay a dead incarnation's records, deliver
+    them, and checkpoint the journal clean."""
+
+    def test_hard_stop_then_next_incarnation_replays(
+        self, inproc, echo_world, dispatcher_backend
+    ):
+        registry, echo = echo_world
+        journal = MessageJournal(sync="lazy", flush_threshold=1)
+        seed_journal(journal, IdGenerator("xmat", seed=9), 3)
+
+        def build(recover):
+            return dispatcher_backend.make_dispatcher(
+                registry,
+                HttpClient(inproc),
+                own_address="http://wsd:8000/msg",
+                config=MsgDispatcherConfig(
+                    cx_threads=2, ws_threads=2, destination_idle_ttl=0.5
+                ),
+                durable=journal,
+                recover=recover,
+            )
+
+        # incarnation 1 never recovers and dies hard
+        first = build(recover=False)
+        assert first.stop() is True
+        assert journal.pending_count() == 3
+
+        # incarnation 2 replays all three and drains gracefully
+        second = build(recover=True)
+        assert wait_for(lambda: echo.received == 3), second.stats
+        assert second.stats.get("recovered") == 3
+        assert second.stop(drain=True) is True
+        assert journal.pending_count() == 0
+        assert journal.counts() == {}
+        journal.close()
+
+
 class TestHoldStoreRestore:
     def test_restore_is_wall_clock_safe_and_idempotent(self):
         wall = {"now": 1000.0}

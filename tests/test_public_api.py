@@ -16,6 +16,7 @@ def test_top_level_exports():
 @pytest.mark.parametrize(
     "module",
     [
+        "repro.aio",
         "repro.core",
         "repro.core.sim_dispatcher",
         "repro.core.status",
@@ -56,6 +57,13 @@ def test_documented_entry_points_exist():
         SsoGate,
         StatusPage,
         TokenIssuer,
+    )
+    from repro.aio import (
+        AioHttpClient,
+        AioHttpServer,
+        AioLoopThread,
+        AioMsgBoxService,
+        AioMsgDispatcher,
     )
     from repro.core.loadbalance import make_policy
     from repro.conversation import ConversationPeer
