@@ -10,13 +10,30 @@ interface.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import platform
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
+def host_info() -> dict:
+    """What the numbers were measured on.  ``cpus`` matters most: the
+    sharding benchmarks are meaningless without knowing how many cores
+    the host could actually hand out."""
+    return {
+        "cpus": os.cpu_count() or 1,
+        "platform": platform.system().lower(),
+        "python": platform.python_version(),
+    }
+
+
 def write_bench_json(name: str, payload: dict) -> pathlib.Path:
-    """Write ``BENCH_<name>.json`` at the repo root; returns the path."""
+    """Write ``BENCH_<name>.json`` at the repo root; returns the path.
+
+    Stamps ``cpus`` into every artifact (unless the benchmark already
+    set it) so historical perf numbers stay comparable across hosts."""
+    payload.setdefault("cpus", os.cpu_count() or 1)
     path = REPO_ROOT / f"BENCH_{name}.json"
     path.write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"

@@ -24,7 +24,7 @@ import subprocess
 import sys
 import time
 
-from _perfjson import REPO_ROOT, write_bench_json, merge_bench_json
+from _perfjson import REPO_ROOT, host_info, write_bench_json, merge_bench_json
 
 CLIENTS = 10_000
 RSS_LIMIT_MB = 1500.0
@@ -158,7 +158,11 @@ def test_c10k_long_pollers_one_loop(
         "rss_limit_mb": RSS_LIMIT_MB,
         "rss_parked_mb": result["rss_parked_mb"],
     }
-    write_bench_json("aio_c10k", {"benchmark": "aio_c10k", "hold": result, "gate": gate})
+    write_bench_json(
+        "aio_c10k",
+        {"benchmark": "aio_c10k", "host": host_info(), "hold": result,
+         "gate": gate},
+    )
     # the tentpole claim: ten thousand concurrent long-poll connections
     # held by one loop thread in one process
     assert result["parked_peak"] >= CLIENTS

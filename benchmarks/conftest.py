@@ -62,6 +62,33 @@ def require_fds():
 
 
 @pytest.fixture
+def require_cpus():
+    """Guard for multi-core scaling benchmarks: skip — with a ``skipped``
+    record in the artifact — when the host cannot hand out enough cores.
+    A 4-shard scaling number measured on a 1-core box is just a context
+    switching benchmark; recording the skip keeps the artifact honest."""
+
+    def _require(bench_name: str, needed: int) -> int:
+        import os
+
+        import _perfjson
+
+        cpus = os.cpu_count() or 1
+        if cpus < needed:
+            reason = (
+                f"host has {cpus} CPU(s) but {bench_name} measures "
+                f"scaling across {needed}; run on a >= {needed}-core host"
+            )
+            _perfjson.write_bench_skipped(
+                bench_name, reason, cpus=cpus, cpus_needed=needed
+            )
+            pytest.skip(reason)
+        return cpus
+
+    return _require
+
+
+@pytest.fixture
 def record_report():
     """Write an experiment report to benchmarks/out/<name>.txt and stdout."""
 

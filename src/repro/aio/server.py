@@ -52,6 +52,8 @@ class AioHttpServer:
         metrics: MetricsRegistry | None = None,
         nodelay: bool = True,
         backlog: int = 512,
+        reuse_port: bool = False,
+        sock: socket.socket | None = None,
     ) -> None:
         self._handler = handler
         self._host = host
@@ -59,6 +61,8 @@ class AioHttpServer:
         self._keep_alive_timeout = keep_alive_timeout
         self._nodelay = nodelay
         self._backlog = backlog
+        self._reuse_port = reuse_port
+        self._sock = sock
         self._server: asyncio.AbstractServer | None = None
         self._conn_tasks: set[asyncio.Task] = set()
         self._running = False
@@ -81,10 +85,17 @@ class AioHttpServer:
 
     # -- lifecycle ----------------------------------------------------------
     async def start(self) -> "AioHttpServer":
-        self._server = await asyncio.start_server(
-            self._serve_connection, self._host, self._port,
-            backlog=self._backlog,
-        )
+        if self._sock is not None:
+            # pre-bound socket handed in by a supervisor (fd inheritance)
+            self._server = await asyncio.start_server(
+                self._serve_connection, sock=self._sock,
+                backlog=self._backlog,
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._serve_connection, self._host, self._port,
+                backlog=self._backlog, reuse_port=self._reuse_port or None,
+            )
         self._running = True
         return self
 

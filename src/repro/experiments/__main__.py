@@ -20,6 +20,7 @@ from repro.experiments import (
     ablations,
     chaos,
     crashrecovery,
+    drain,
     fig4,
     fig5,
     fig6,
@@ -44,8 +45,14 @@ def main(argv: list[str] | None = None) -> int:
         choices=[
             "fig4", "fig5", "fig6", "table1",
             "msgbox-bug", "pool-sizing", "batching", "reliability", "chaos",
-            "crash-recovery",
+            "crash-recovery", "drain",
         ],
+    )
+    parser.add_argument(
+        "--runtime",
+        choices=drain.RUNTIMES,
+        default="threaded",
+        help="dispatcher backend for the drain experiment",
     )
     parser.add_argument(
         "--clients",
@@ -112,6 +119,11 @@ def main(argv: list[str] | None = None) -> int:
         report = crashrecovery.run(messages=messages)
         print(report.render())
         failures = crashrecovery.check_shape(report)
+    elif name == "drain":
+        messages = counts[0] if counts else 400
+        report = drain.run(runtime=args.runtime, messages=messages)
+        print(report.render())
+        failures = drain.check_shape(report)
     else:  # reliability
         report = ablations.reliability()
         print(report.render())

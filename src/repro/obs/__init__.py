@@ -24,8 +24,16 @@ This package is that visibility — the telemetry plane:
 - :mod:`repro.obs.http` — the :class:`Introspection` surface serving
   ``GET /metrics``, ``/trace/<id>``, ``/health``, ``/deadletters``,
   ``/slo``, ``/flightrecorder``, and ``/metrics/history``.
+- :mod:`repro.obs.aggregate` — cross-process exposition merging: the
+  shard supervisor scrapes each worker's ``/metrics`` text and serves
+  one fleet-wide exposition via :func:`merge_expositions`.
 """
 
+from repro.obs.aggregate import (
+    MergeError,
+    merge_expositions,
+    parse_exposition,
+)
 from repro.obs.flight import (
     FlightRecorder,
     default_flight_recorder,
@@ -71,6 +79,7 @@ __all__ = [
     "HttpSpanShipper",
     "Introspection",
     "KeyValueFormatter",
+    "MergeError",
     "MetricsRegistry",
     "MetricsSnapshotter",
     "ReportingTraceStore",
@@ -94,6 +103,8 @@ __all__ = [
     "extract_trace",
     "kv_line",
     "log_event",
+    "merge_expositions",
+    "parse_exposition",
     "propagate_trace",
     "set_default_flight_recorder",
     "set_default_registry",

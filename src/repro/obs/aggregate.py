@@ -1,0 +1,292 @@
+"""Cross-shard metrics aggregation: merge Prometheus expositions.
+
+The shard supervisor's ``GET /metrics`` scrapes each worker's
+introspection endpoint (the text exposition
+:meth:`~repro.obs.metrics.MetricsRegistry.render_prometheus` produces)
+and serves one merged exposition, so a single scrape sees fleet-wide
+totals no matter how many processes serve the port.
+
+Merge semantics per family kind:
+
+- **counter** / **gauge** — samples with identical label sets sum.
+  (Gauges here are monotone counts exposed as gauges — connections
+  served, queue depths — where a sum across shards is the fleet truth.)
+- **histogram** — ``_sum`` and ``_count`` sum; ``_bucket`` series merge
+  over the *union* of ``le`` edges using cumulative semantics.  All
+  shards run the same code, so finite bucket edges come from the same
+  grid (``bucket_width`` multiples) and an edge missing from one shard's
+  sparse exposition means *that bucket was empty there*: the shard's
+  cumulative value at the missing edge is its value at the largest
+  present edge below it (or 0).  That makes the carried-forward merge
+  exact, not an approximation.
+
+Disagreements that would make a merge silently wrong fail loudly as
+:class:`MergeError`: the same family name exposed with different
+``# TYPE`` kinds, or histogram series whose label *names* differ across
+shards (label values may differ freely — that is what labels are for).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+__all__ = ["MergeError", "ParsedFamily", "parse_exposition", "merge_expositions"]
+
+
+class MergeError(ValueError):
+    """Shard expositions disagree in a way a sum cannot paper over."""
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape(value: str) -> str:
+    return (
+        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)
+
+
+@dataclass
+class ParsedFamily:
+    """One metric family from a text exposition."""
+
+    name: str
+    kind: str = "untyped"
+    help: str = ""
+    #: (sample_name, labels, value) in exposition order
+    samples: list[tuple[str, dict[str, str], float]] = field(
+        default_factory=list
+    )
+
+
+def parse_exposition(text: str) -> dict[str, ParsedFamily]:
+    """Parse a Prometheus text exposition into families keyed by name.
+
+    Understands the subset ``render_prometheus`` emits (and any
+    conforming v0.0.4 text): ``# HELP`` / ``# TYPE`` comments and
+    ``name{labels} value`` samples.  Histogram ``_bucket``/``_sum``/
+    ``_count`` samples are filed under their family's base name.
+    """
+    families: dict[str, ParsedFamily] = {}
+
+    def family_for(sample_name: str) -> ParsedFamily:
+        # histogram samples belong to the family declared by # TYPE
+        for suffix in ("_bucket", "_sum", "_count"):
+            if sample_name.endswith(suffix):
+                base = sample_name[: -len(suffix)]
+                if base in families and families[base].kind == "histogram":
+                    return families[base]
+        return families.setdefault(sample_name, ParsedFamily(sample_name))
+
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] in ("HELP", "TYPE"):
+                name = parts[2]
+                fam = families.setdefault(name, ParsedFamily(name))
+                if parts[1] == "TYPE":
+                    fam.kind = parts[3].strip() if len(parts) > 3 else "untyped"
+                else:
+                    fam.help = parts[3] if len(parts) > 3 else ""
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise MergeError(f"unparseable exposition line: {line!r}")
+        labels_text = match.group("labels") or ""
+        labels = {
+            key: _unescape(value)
+            for key, value in _LABEL_RE.findall(labels_text)
+        }
+        fam = family_for(match.group("name"))
+        fam.samples.append(
+            (match.group("name"), labels, _parse_value(match.group("value")))
+        )
+    return families
+
+
+def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted(labels.items()))
+
+
+def _check_label_names(
+    family: str, seen: set[frozenset] , labels: dict[str, str]
+) -> None:
+    names = frozenset(labels)
+    if seen and names not in seen:
+        expected = ", ".join(sorted(next(iter(seen))) or ("<none>",))
+        got = ", ".join(sorted(names) or ("<none>",))
+        raise MergeError(
+            f"family {family!r}: label names disagree across shards "
+            f"(saw {{{expected}}}, then {{{got}}})"
+        )
+    seen.add(names)
+
+
+def merge_expositions(texts: list[str]) -> str:
+    """Merge shard expositions into one fleet-wide exposition text."""
+    parsed = [parse_exposition(text) for text in texts]
+
+    # family name -> kind/help consensus (fail loudly on kind conflict)
+    merged: dict[str, ParsedFamily] = {}
+    for shards in parsed:
+        for name, fam in shards.items():
+            agg = merged.setdefault(
+                name, ParsedFamily(name, fam.kind, fam.help)
+            )
+            if not agg.help and fam.help:
+                agg.help = fam.help
+            if agg.kind == "untyped":
+                agg.kind = fam.kind
+            elif fam.kind not in ("untyped", agg.kind):
+                raise MergeError(
+                    f"family {name!r}: kind disagrees across shards "
+                    f"({agg.kind} vs {fam.kind})"
+                )
+
+    lines: list[str] = []
+    for name in sorted(merged):
+        fam = merged[name]
+        shard_fams = [shards[name] for shards in parsed if name in shards]
+        if not any(f.samples for f in shard_fams):
+            continue
+        lines.append(f"# HELP {name} {fam.help or name}")
+        lines.append(f"# TYPE {name} {fam.kind}")
+        if fam.kind == "histogram":
+            lines.extend(_merge_histogram(name, shard_fams))
+        else:
+            lines.extend(_merge_flat(name, shard_fams))
+    return "\n".join(lines) + "\n"
+
+
+def _merge_flat(name: str, shard_fams: list[ParsedFamily]) -> list[str]:
+    """Sum counter/gauge samples with identical label sets."""
+    totals: dict[tuple, float] = {}
+    labels_by_key: dict[tuple, dict[str, str]] = {}
+    seen_names: set[frozenset] = set()
+    for fam in shard_fams:
+        for _sample, labels, value in fam.samples:
+            _check_label_names(name, seen_names, labels)
+            key = _label_key(labels)
+            totals[key] = totals.get(key, 0.0) + value
+            labels_by_key[key] = labels
+    return [
+        f"{name}{_render_labels(labels_by_key[key])} {_render_value(total)}"
+        for key, total in sorted(totals.items())
+    ]
+
+
+def _merge_histogram(name: str, shard_fams: list[ParsedFamily]) -> list[str]:
+    """Merge cumulative bucket series over the union of ``le`` edges."""
+    # series key = labels minus `le`; per shard keep its sorted cumulative
+    # bucket list so missing edges carry the prior cumulative forward.
+    buckets: dict[tuple, list[list[tuple[float, float]]]] = {}
+    sums: dict[tuple, float] = {}
+    counts: dict[tuple, float] = {}
+    labels_by_key: dict[tuple, dict[str, str]] = {}
+    seen_names: set[frozenset] = set()
+
+    for fam in shard_fams:
+        shard_buckets: dict[tuple, list[tuple[float, float]]] = {}
+        for sample, labels, value in fam.samples:
+            if sample == f"{name}_bucket":
+                base = {k: v for k, v in labels.items() if k != "le"}
+                _check_label_names(name, seen_names, base)
+                key = _label_key(base)
+                labels_by_key.setdefault(key, base)
+                edge = _parse_value(labels.get("le", "+Inf"))
+                shard_buckets.setdefault(key, []).append((edge, value))
+            elif sample == f"{name}_sum":
+                _check_label_names(name, seen_names, labels)
+                key = _label_key(labels)
+                labels_by_key.setdefault(key, labels)
+                sums[key] = sums.get(key, 0.0) + value
+            elif sample == f"{name}_count":
+                _check_label_names(name, seen_names, labels)
+                key = _label_key(labels)
+                labels_by_key.setdefault(key, labels)
+                counts[key] = counts.get(key, 0.0) + value
+            else:
+                raise MergeError(
+                    f"family {name!r}: unexpected histogram sample "
+                    f"{sample!r}"
+                )
+        for key, series in shard_buckets.items():
+            series.sort(key=lambda pair: pair[0])
+            buckets.setdefault(key, []).append(series)
+
+    lines: list[str] = []
+    for key in sorted(labels_by_key):
+        base = labels_by_key[key]
+        shard_series = buckets.get(key, [])
+        edges = sorted({edge for series in shard_series for edge, _ in series})
+        for edge in edges:
+            total = 0.0
+            for series in shard_series:
+                # cumulative value at `edge` for this shard: the value at
+                # the largest present edge <= edge (0 before the first)
+                value = 0.0
+                for present_edge, cum in series:
+                    if present_edge <= edge:
+                        value = cum
+                    else:
+                        break
+                total += value
+            b_labels = dict(base)
+            b_labels["le"] = _render_value(edge)
+            lines.append(
+                f"{name}_bucket{_render_labels(b_labels)} "
+                f"{_render_value(total)}"
+            )
+        if key in sums:
+            lines.append(
+                f"{name}_sum{_render_labels(base)} "
+                f"{_render_value(sums[key])}"
+            )
+        if key in counts:
+            lines.append(
+                f"{name}_count{_render_labels(base)} "
+                f"{_render_value(counts[key])}"
+            )
+    return lines
+
+
+def _render_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape(v)}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_value(value: float) -> str:
+    if value != value:
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))

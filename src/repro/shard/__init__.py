@@ -1,0 +1,66 @@
+"""repro.shard — the multi-process sharded dispatcher (GIL escape).
+
+One CPython process dispatches on one core; this package multiplies the
+dispatcher across processes while preserving every single-process
+guarantee:
+
+- :mod:`repro.shard.ring` — deterministic consistent hashing from
+  logical destination names to owning shards (:class:`HashRing`).
+- :mod:`repro.shard.dispatcher` — :class:`ShardedMsgDispatcher` /
+  ``AioShardedMsgDispatcher``: the routing seam consults the ring and
+  relays foreign messages to the owner's direct endpoint, so
+  per-destination FIFO order, breaker state, hold/retry schedules, and
+  correlations stay shard-local with no cross-process locking.
+- :mod:`repro.shard.spec` — :class:`ShardSpec`, the JSON boot contract
+  between supervisor and worker.
+- :mod:`repro.shard.worker` — :class:`ShardWorker`, one shard's full
+  deployment (``python -m repro.shard.worker``), threaded or asyncio.
+- :mod:`repro.shard.fdpass` — accept-and-pass fallback (SCM_RIGHTS fd
+  passing) for platforms without SO_REUSEPORT.
+- :mod:`repro.shard.supervisor` — :class:`ShardSupervisor`: spawns the
+  fleet behind one shared data port, restarts crashed workers against
+  their own per-shard journals (``journal-shard<k>.db``), and serves
+  aggregated ``/metrics`` (merged Prometheus exposition), ``/health``,
+  and ``/slo``.
+"""
+
+from repro.shard.fdpass import (
+    FanoutAcceptor,
+    FdReceiverListener,
+    fd_passing_supported,
+)
+from repro.shard.ring import HashRing
+from repro.shard.spec import ShardSpec
+from repro.shard.supervisor import ShardSupervisor, SupervisorConfig
+
+
+def __getattr__(name: str):
+    # lazy: repro.shard.worker doubles as `python -m repro.shard.worker`,
+    # and importing it from the package __init__ would make runpy warn
+    # about re-executing an already-imported module in every subprocess
+    if name == "ShardWorker":
+        from repro.shard.worker import ShardWorker
+
+        globals()[name] = ShardWorker
+        return ShardWorker
+    if name in ("ShardedMsgDispatcher", "AioShardedMsgDispatcher"):
+        from repro.shard import dispatcher
+
+        value = getattr(dispatcher, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(name)
+
+
+__all__ = [
+    "AioShardedMsgDispatcher",
+    "FanoutAcceptor",
+    "FdReceiverListener",
+    "HashRing",
+    "ShardSpec",
+    "ShardSupervisor",
+    "ShardWorker",
+    "ShardedMsgDispatcher",
+    "SupervisorConfig",
+    "fd_passing_supported",
+]

@@ -1,0 +1,176 @@
+"""Accept-and-pass: the data-plane fallback when SO_REUSEPORT is absent.
+
+With SO_REUSEPORT every worker binds the shared port itself and the
+kernel spreads connections.  Without it, the supervisor owns the one
+bound socket, accepts in a small thread, and hands each accepted
+connection's file descriptor to a worker over a Unix socketpair
+(SCM_RIGHTS via :func:`socket.send_fds`).  On the worker side
+:class:`FdReceiverListener` speaks the same ``Listener`` protocol as
+:class:`~repro.transport.tcp.TcpListener`, so the HTTP server cannot
+tell the difference.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.errors import ConnectionTimeout, TransportError
+from repro.transport.base import Endpoint
+from repro.transport.tcp import TcpListener, TcpStream
+
+__all__ = ["fd_passing_supported", "FdReceiverListener", "FanoutAcceptor"]
+
+
+def fd_passing_supported() -> bool:
+    """SCM_RIGHTS fd passing needs AF_UNIX + send_fds/recv_fds (3.9+)."""
+    return (
+        hasattr(socket, "AF_UNIX")
+        and hasattr(socket, "send_fds")
+        and hasattr(socket, "recv_fds")
+    )
+
+
+class FdReceiverListener:
+    """Worker-side listener: accepted sockets arrive as passed fds.
+
+    ``channel`` is the worker's end of the supervisor's socketpair
+    (reconstructed from an inherited fd in a subprocess).  ``endpoint``
+    is the *advertised* shared endpoint — what clients actually connect
+    to — kept so server logs/URLs stay meaningful.
+    """
+
+    def __init__(
+        self,
+        channel: socket.socket,
+        endpoint: Endpoint | str,
+        nodelay: bool = True,
+    ) -> None:
+        if isinstance(endpoint, str):
+            endpoint = Endpoint.parse(endpoint)
+        self._channel = channel
+        self._endpoint = endpoint
+        self._nodelay = nodelay
+
+    @property
+    def endpoint(self) -> Endpoint:
+        return self._endpoint
+
+    def accept(self, timeout: float | None = None) -> TcpStream:
+        try:
+            self._channel.settimeout(timeout)
+            _msg, fds, _flags, _addr = socket.recv_fds(self._channel, 1, 1)
+        except socket.timeout:
+            raise ConnectionTimeout("fd-pass accept timed out") from None
+        except OSError as exc:
+            raise TransportError(f"fd channel broken: {exc}") from exc
+        if not fds:
+            # zero-fd read = EOF: the supervisor closed its end
+            raise TransportError("fd channel closed by supervisor")
+        conn = socket.socket(fileno=fds[0])
+        conn.settimeout(None)
+        return TcpStream(conn, nodelay=self._nodelay)
+
+    def close(self) -> None:
+        try:
+            self._channel.close()
+        except OSError:
+            pass
+
+
+class FanoutAcceptor:
+    """Supervisor-side accept loop distributing connections round-robin.
+
+    Owns the real bound socket (so there is no bind race: the endpoint
+    is known before any worker starts) and one send channel per worker.
+    A dead worker's channel raises on send; the connection is retried on
+    the next live channel so a single crashed shard never black-holes
+    accepted connections.
+    """
+
+    def __init__(
+        self,
+        endpoint: Endpoint | str,
+        channels: dict[int, socket.socket],
+        backlog: int = 128,
+    ) -> None:
+        self._listener = TcpListener(endpoint, backlog=backlog, nodelay=False)
+        self._channels = dict(channels)
+        self._lock = threading.Lock()
+        self._running = False
+        self._thread: threading.Thread | None = None
+        self._next = 0
+        self.passed = 0
+        self.pass_errors = 0
+
+    @property
+    def endpoint(self) -> Endpoint:
+        return self._listener.endpoint
+
+    def replace_channel(self, shard_id: int, channel: socket.socket) -> None:
+        """Swap in a restarted worker's fresh socketpair end."""
+        with self._lock:
+            old = self._channels.get(shard_id)
+            self._channels[shard_id] = channel
+        if old is not None:
+            try:
+                old.close()
+            except OSError:
+                pass
+
+    def start(self) -> "FanoutAcceptor":
+        self._running = True
+        self._thread = threading.Thread(
+            target=self._loop, name="fanout-accept", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while self._running:
+            try:
+                stream = self._listener.accept(timeout=0.25)
+            except ConnectionTimeout:
+                continue
+            except TransportError:
+                if self._running:
+                    continue
+                return
+            self._pass_stream(stream)
+
+    def _pass_stream(self, stream: TcpStream) -> None:
+        with self._lock:
+            order = sorted(self._channels)
+        for attempt in range(max(1, len(order))):
+            with self._lock:
+                if not order:
+                    break
+                shard_id = order[self._next % len(order)]
+                self._next += 1
+                channel = self._channels.get(shard_id)
+            if channel is None:
+                continue
+            try:
+                socket.send_fds(channel, [b"c"], [stream._sock.fileno()])
+                self.passed += 1
+                stream.close()  # worker holds its own duplicate now
+                return
+            except OSError:
+                self.pass_errors += 1
+                continue
+        stream.close()  # no live worker channel: drop the connection
+
+    def stop(self) -> None:
+        self._running = False
+        self._listener.close()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        with self._lock:
+            channels = list(self._channels.values())
+            self._channels.clear()
+        for channel in channels:
+            try:
+                channel.close()
+            except OSError:
+                pass

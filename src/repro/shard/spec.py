@@ -1,0 +1,68 @@
+"""The shard worker's boot contract: everything a worker process needs.
+
+The supervisor serializes a :class:`ShardSpec` to JSON and hands it to
+``python -m repro.shard.worker`` on argv; the worker rebuilds its whole
+deployment (registry seed, ring geometry, peer map, journal path, runtime
+choice) from it.  Keeping the contract an explicit dataclass — instead of
+pickled closures — is what makes single-shard restart trivial: respawning
+a crashed worker is re-sending the same spec.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+__all__ = ["ShardSpec"]
+
+
+@dataclass
+class ShardSpec:
+    """One worker's share of a sharded dispatcher deployment."""
+
+    shard_id: int
+    shards: int
+    #: the shared client-facing endpoint (every shard binds it with
+    #: SO_REUSEPORT, or receives its connections via fd passing)
+    data_host: str
+    data_port: int
+    #: this shard's private endpoint: peers relay here, services reply here
+    direct_port: int
+    #: shard id -> direct base URL for every shard (self included)
+    peers: dict[int, str] = field(default_factory=dict)
+    #: logical name -> physical URL seed for the worker's ServiceRegistry
+    registry: dict[str, str] = field(default_factory=dict)
+    mount_prefix: str = "/msg"
+    #: "threaded" (MsgDispatcher) or "aio" (AioMsgDispatcher, one loop)
+    runtime: str = "threaded"
+    #: "reuseport" (bind shared port) or "pass" (fds over a Unix channel)
+    accept_mode: str = "reuseport"
+    #: inherited fd number of the worker's end of the fd-pass socketpair
+    pass_fd: int | None = None
+    #: per-shard journal file; None runs the shard non-durable
+    journal_path: str | None = None
+    journal_sync: str = "group"
+    ring_replicas: int = 64
+    dedupe_window: float | None = 60.0
+    cx_threads: int = 2
+    ws_threads: int = 8
+    server_workers: int = 16
+    batch_size: int = 8
+    pipeline_batches: bool = True
+    fast_path: bool = True
+    #: retry knobs cover the relay path while a crashed peer restarts
+    retry_attempts: int = 8
+    retry_base: float = 0.05
+    retry_max_delay: float = 0.5
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ShardSpec":
+        data = json.loads(text)
+        # JSON object keys are strings; the peer map is keyed by shard id
+        data["peers"] = {
+            int(shard): url for shard, url in data.get("peers", {}).items()
+        }
+        return cls(**data)

@@ -15,6 +15,9 @@ from repro.store.journal import (
     ENQUEUED,
     JournalRecord,
     MessageJournal,
+    discover_shard_journals,
+    merged_recovery_report,
+    shard_journal_path,
 )
 
 __all__ = [
@@ -24,4 +27,7 @@ __all__ = [
     "ENQUEUED",
     "JournalRecord",
     "MessageJournal",
+    "discover_shard_journals",
+    "merged_recovery_report",
+    "shard_journal_path",
 ]

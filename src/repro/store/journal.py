@@ -484,3 +484,70 @@ class MessageJournal:
             "buffered_ops": buffered,
             "corrupt_skipped": self._n_corrupt_skipped,
         }
+
+
+# -- sharded journals ------------------------------------------------------
+#
+# The shard supervisor gives every dispatcher worker its own journal file
+# in one directory: journal-shard0.db, journal-shard1.db, ...  Each worker
+# recovers only its own file at boot, so a single-shard crash replays only
+# that shard's backlog; the supervisor uses discovery to report the merged
+# pending picture across a full restart.
+
+SHARD_JOURNAL_PREFIX = "journal-shard"
+
+
+def shard_journal_path(directory: str, shard_id: int) -> str:
+    """The canonical journal path for ``shard_id`` under ``directory``."""
+    import os
+
+    return os.path.join(directory, f"{SHARD_JOURNAL_PREFIX}{shard_id}.db")
+
+
+def discover_shard_journals(directory: str) -> dict[int, str]:
+    """Map shard id -> journal path for every shard journal on disk.
+
+    Used for merged recovery on supervisor restart: the set of files is
+    the authoritative record of which shards had taken responsibility
+    for messages, independent of the shard count the supervisor restarts
+    with.
+    """
+    import os
+    import re
+
+    pattern = re.compile(
+        rf"^{re.escape(SHARD_JOURNAL_PREFIX)}(\d+)\.db$"
+    )
+    found: dict[int, str] = {}
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return found
+    for name in names:
+        match = pattern.match(name)
+        if match:
+            found[int(match.group(1))] = os.path.join(directory, name)
+    return found
+
+
+def merged_recovery_report(directory: str) -> dict[int, int]:
+    """Pending (enqueued) record count per shard journal in ``directory``.
+
+    Read-only: opens each journal just long enough to count, so it is
+    safe to call from the supervisor while workers own the files.
+    """
+    report: dict[int, int] = {}
+    for shard_id, path in sorted(discover_shard_journals(directory).items()):
+        try:
+            conn = sqlite3.connect(path)
+            try:
+                row = conn.execute(
+                    "SELECT COUNT(*) FROM journal WHERE state = ?",
+                    (ENQUEUED,),
+                ).fetchone()
+                report[shard_id] = int(row[0]) if row else 0
+            finally:
+                conn.close()
+        except sqlite3.Error:
+            report[shard_id] = -1  # unreadable: surfaced, not hidden
+    return report

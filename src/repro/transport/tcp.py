@@ -13,6 +13,24 @@ from repro.errors import (
 from repro.transport.base import Endpoint
 
 
+def reuse_port_supported() -> bool:
+    """Probe whether this platform can bind SO_REUSEPORT sockets.
+
+    Linux ≥3.9 and the BSDs have it; some kernels expose the constant
+    but refuse the setsockopt, so we try it on a throwaway socket.
+    """
+    if not hasattr(socket, "SO_REUSEPORT"):
+        return False
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        return True
+    except OSError:
+        return False
+    finally:
+        probe.close()
+
+
 class TcpStream:
     """Stream adapter over a connected socket.
 
@@ -58,19 +76,40 @@ class TcpStream:
 
 
 class TcpListener:
-    """Bound listening socket."""
+    """Bound listening socket.
+
+    ``reuse_port=True`` binds with SO_REUSEPORT so several processes can
+    listen on one port and let the kernel spread accepted connections
+    across them (the shard supervisor's data plane).  Platforms without
+    SO_REUSEPORT raise :class:`TransportError` — callers probe first via
+    :func:`reuse_port_supported` and fall back to accept-and-pass.
+    """
 
     def __init__(
         self,
         endpoint: Endpoint | str,
         backlog: int = 128,
         nodelay: bool = True,
+        reuse_port: bool = False,
     ) -> None:
         if isinstance(endpoint, str):
             endpoint = Endpoint.parse(endpoint)
         self._nodelay = nodelay
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        if reuse_port:
+            if not hasattr(socket, "SO_REUSEPORT"):
+                self._sock.close()
+                raise TransportError(
+                    "SO_REUSEPORT is not supported on this platform"
+                )
+            try:
+                self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            except OSError as exc:
+                self._sock.close()
+                raise TransportError(
+                    f"SO_REUSEPORT refused by kernel: {exc}"
+                ) from exc
         try:
             self._sock.bind((endpoint.host, endpoint.port))
             self._sock.listen(backlog)

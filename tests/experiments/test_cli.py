@@ -39,6 +39,24 @@ def test_table1_command(capsys):
     assert "quadrant" in out
 
 
+def test_drain_command_threaded(capsys):
+    assert main(["drain", "--clients", "60"]) == 0
+    out = capsys.readouterr().out
+    assert "backlog drain" in out
+    assert "threaded\t60\t60" in out
+
+
+def test_drain_command_aio(capsys):
+    assert main(["drain", "--clients", "60", "--runtime", "aio"]) == 0
+    out = capsys.readouterr().out
+    assert "aio\t60\t60" in out
+
+
+def test_drain_rejects_unknown_runtime():
+    with pytest.raises(SystemExit):
+        main(["drain", "--runtime", "gevent"])
+
+
 def test_unknown_experiment_rejected():
     with pytest.raises(SystemExit):
         main(["not-a-thing"])

@@ -1,0 +1,118 @@
+"""Cross-shard Prometheus exposition merging (``repro.obs.aggregate``)."""
+
+import pytest
+
+from repro.obs import MergeError, MetricsRegistry, merge_expositions, parse_exposition
+
+
+def _registry_text(counter_value: int, labels: dict | None = None) -> str:
+    registry = MetricsRegistry()
+    counter = registry.counter("msgd_accepted_total", "messages accepted")
+    if labels:
+        counter.labels(**labels).inc(counter_value)
+    else:
+        counter.inc(counter_value)
+    return registry.render_prometheus()
+
+
+def test_counters_sum_across_shards():
+    merged = merge_expositions([_registry_text(3), _registry_text(7)])
+    assert "msgd_accepted_total 10" in merged
+
+
+def test_labeled_counters_sum_by_labelset():
+    texts = [
+        _registry_text(2, {"direction": "out"}),
+        _registry_text(5, {"direction": "out"}),
+        _registry_text(11, {"direction": "in"}),
+    ]
+    merged = merge_expositions(texts)
+    assert 'msgd_accepted_total{direction="out"} 7' in merged
+    assert 'msgd_accepted_total{direction="in"} 11' in merged
+
+
+def test_merge_is_parseable_and_idempotent_shape():
+    """The merged output must itself parse — the supervisor's /metrics is
+    consumed by the same tooling that reads a single shard's."""
+    merged = merge_expositions([_registry_text(1), _registry_text(2)])
+    families = parse_exposition(merged)
+    assert "msgd_accepted_total" in families
+    again = merge_expositions([merged])
+    assert "msgd_accepted_total 3" in again
+
+
+def _histogram_text(observations: list[float]) -> str:
+    edges = (0.1, 1.0, 10.0)
+    lines = [
+        "# HELP msgd_latency_seconds delivery latency",
+        "# TYPE msgd_latency_seconds histogram",
+    ]
+    for edge in edges:
+        count = sum(1 for value in observations if value <= edge)
+        lines.append(f'msgd_latency_seconds_bucket{{le="{edge}"}} {count}')
+    lines.append(
+        f'msgd_latency_seconds_bucket{{le="+Inf"}} {len(observations)}'
+    )
+    lines.append(f"msgd_latency_seconds_sum {sum(observations)}")
+    lines.append(f"msgd_latency_seconds_count {len(observations)}")
+    return "\n".join(lines) + "\n"
+
+
+def test_histogram_buckets_stay_cumulative():
+    merged = merge_expositions(
+        [_histogram_text([0.05, 0.5]), _histogram_text([0.05, 5.0])]
+    )
+    families = parse_exposition(merged)
+    samples = {
+        (name, labels.get("le")): value
+        for name, labels, value in families["msgd_latency_seconds"].samples
+    }
+    assert samples[("msgd_latency_seconds_bucket", "0.1")] == 2
+    assert samples[("msgd_latency_seconds_bucket", "1")] == 3
+    assert samples[("msgd_latency_seconds_bucket", "10")] == 4
+    assert samples[("msgd_latency_seconds_bucket", "+Inf")] == 4
+    assert samples[("msgd_latency_seconds_count", None)] == 4
+    # cumulative invariant: counts never decrease along the bucket axis
+    edges = ["0.1", "1", "10", "+Inf"]
+    values = [samples[("msgd_latency_seconds_bucket", e)] for e in edges]
+    assert values == sorted(values)
+
+
+def test_histogram_sum_adds():
+    merged = merge_expositions(
+        [_histogram_text([0.5]), _histogram_text([1.5])]
+    )
+    families = parse_exposition(merged)
+    total = {
+        name: value
+        for name, labels, value in families["msgd_latency_seconds"].samples
+    }["msgd_latency_seconds_sum"]
+    assert total == pytest.approx(2.0)
+
+
+def test_mismatched_label_names_fail_loudly():
+    good = 'a_total{shard="0"} 1\n'
+    bad = 'a_total{region="eu"} 1\n'
+    with pytest.raises(MergeError):
+        merge_expositions([good, bad])
+
+
+def test_mismatched_types_fail_loudly():
+    as_counter = "# TYPE x_total counter\nx_total 1\n"
+    as_gauge = "# TYPE x_total gauge\nx_total 1\n"
+    with pytest.raises(MergeError):
+        merge_expositions([as_counter, as_gauge])
+
+
+def test_gauges_sum():
+    """Gauges merge by summing too: the fleet's open connections is the
+    sum of each shard's, not the max."""
+    texts = ["# TYPE open_conns gauge\nopen_conns 4\n",
+             "# TYPE open_conns gauge\nopen_conns 6\n"]
+    assert "open_conns 10" in merge_expositions(texts)
+
+
+def test_empty_and_comment_only_inputs():
+    assert merge_expositions([]).strip() == ""
+    merged = merge_expositions(["# just a comment\n", _registry_text(2)])
+    assert "msgd_accepted_total 2" in merged

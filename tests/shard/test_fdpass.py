@@ -1,0 +1,88 @@
+"""Accept-and-pass: SCM_RIGHTS fd handoff for SO_REUSEPORT-less hosts."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.errors import TransportError
+from repro.shard import FanoutAcceptor, FdReceiverListener, fd_passing_supported
+from repro.transport.base import Endpoint
+from repro.transport.tcp import TcpConnector
+
+pytestmark = pytest.mark.skipif(
+    not fd_passing_supported(), reason="no SCM_RIGHTS fd passing here"
+)
+
+
+def test_accepted_connection_crosses_the_channel():
+    parent, child = socket.socketpair(socket.AF_UNIX, socket.SOCK_STREAM)
+    acceptor = FanoutAcceptor(Endpoint("127.0.0.1", 0), {0: parent})
+    receiver = FdReceiverListener(child, acceptor.endpoint)
+    try:
+        acceptor.start()
+        client = TcpConnector().connect(acceptor.endpoint, timeout=2)
+        stream = receiver.accept(timeout=2)
+        client.send(b"ping")
+        assert stream.recv(4, timeout=2) == b"ping"
+        stream.send(b"pong")
+        assert client.recv(4, timeout=2) == b"pong"
+        client.close()
+        stream.close()
+        assert acceptor.passed == 1
+    finally:
+        acceptor.stop()
+        receiver.close()
+
+
+def test_round_robin_across_channels():
+    pairs = [socket.socketpair(socket.AF_UNIX, socket.SOCK_STREAM) for _ in range(2)]
+    acceptor = FanoutAcceptor(
+        Endpoint("127.0.0.1", 0), {i: pairs[i][0] for i in range(2)}
+    )
+    receivers = [
+        FdReceiverListener(pairs[i][1], acceptor.endpoint) for i in range(2)
+    ]
+    got = []
+    lock = threading.Lock()
+
+    def drain(idx):
+        while True:
+            try:
+                stream = receivers[idx].accept(timeout=1.5)
+            except TransportError:
+                return
+            with lock:
+                got.append(idx)
+            stream.close()
+
+    try:
+        acceptor.start()
+        threads = [
+            threading.Thread(target=drain, args=(i,)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        clients = [
+            TcpConnector().connect(acceptor.endpoint, timeout=2)
+            for _ in range(4)
+        ]
+        for t in threads:
+            t.join(timeout=5)
+        for c in clients:
+            c.close()
+    finally:
+        acceptor.stop()
+        for receiver in receivers:
+            receiver.close()
+    # 4 connections over 2 channels round-robin: two each
+    assert sorted(got) == [0, 0, 1, 1]
+
+
+def test_receiver_eof_when_acceptor_dies():
+    parent, child = socket.socketpair(socket.AF_UNIX, socket.SOCK_STREAM)
+    receiver = FdReceiverListener(child, Endpoint("127.0.0.1", 0))
+    parent.close()  # supervisor side gone
+    with pytest.raises(TransportError):
+        receiver.accept(timeout=1)
+    receiver.close()

@@ -31,6 +31,7 @@ def test_top_level_exports():
         "repro.http",
         "repro.transport",
         "repro.rt",
+        "repro.shard",
         "repro.simnet",
         "repro.simnet.metrics",
         "repro.store",

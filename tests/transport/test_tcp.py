@@ -76,3 +76,45 @@ def test_eof_on_close(listener):
     assert client.recv(100, timeout=2) == b""
     client.close()
     t.join(2)
+
+
+def test_reuse_port_probe_is_bool():
+    from repro.transport.tcp import reuse_port_supported
+
+    assert isinstance(reuse_port_supported(), bool)
+
+
+def test_reuse_port_shares_an_endpoint():
+    from repro.transport.tcp import reuse_port_supported
+
+    if not reuse_port_supported():
+        pytest.skip("SO_REUSEPORT unsupported on this platform")
+    first = TcpListener("127.0.0.1:0", reuse_port=True)
+    try:
+        second = TcpListener(first.endpoint, reuse_port=True)
+        second.close()
+    finally:
+        first.close()
+
+
+def test_reuse_port_off_still_conflicts():
+    """Without the knob, a second bind of the same endpoint must fail —
+    the knob is opt-in, not a global behavior change."""
+    from repro.errors import TransportError
+
+    first = TcpListener("127.0.0.1:0")
+    try:
+        with pytest.raises(TransportError):
+            TcpListener(first.endpoint)
+    finally:
+        first.close()
+
+
+def test_reuse_port_raises_when_unsupported(monkeypatch):
+    import socket
+
+    from repro.errors import TransportError
+
+    monkeypatch.delattr(socket, "SO_REUSEPORT", raising=False)
+    with pytest.raises(TransportError, match="SO_REUSEPORT"):
+        TcpListener("127.0.0.1:0", reuse_port=True)
