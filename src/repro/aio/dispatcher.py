@@ -33,7 +33,10 @@ from __future__ import annotations
 import asyncio
 
 from repro.core.msg_dispatcher import MsgDispatcher, _Destination, _make_post
+from repro.core.routing import is_hold_resolve_target, split_hold_resolve_target
 from repro.errors import ReproError, TransportError
+from repro.obs.trace import extract_trace
+from repro.soap import parse_envelope
 from repro.reliable.breaker import BreakerOpenError
 from repro.util.concurrency import QueueClosed
 
@@ -247,6 +250,21 @@ class AioMsgDispatcher(MsgDispatcher):
 
     async def _adeliver_held(self, msg) -> None:
         """Awaitable twin of :meth:`MsgDispatcher.deliver_held`."""
+        if is_hold_resolve_target(msg.target_url):
+            # parked pre-resolution (registry was unavailable): run the
+            # routing pass again; RegistryUnavailable propagates and the
+            # store reschedules (routing itself is non-blocking, so the
+            # inherited synchronous _route_one is safe on the loop)
+            envelope = parse_envelope(
+                msg.envelope_bytes, counter=self._m_fastpath,
+                fast=self.config.fast_path,
+            )
+            self._route_one(
+                envelope, split_hold_resolve_target(msg.target_url),
+                trace=extract_trace(envelope), from_hold=True,
+            )
+            self.counters.inc("held_redelivered")
+            return
         key = self._endpoint_key(msg.target_url)
         if self.breakers is not None and not self.breakers.allow(key):
             raise BreakerOpenError(f"breaker open for {key}")

@@ -35,9 +35,14 @@ class ChaosController:
     """Drives a fault plan against a simnet :class:`Network`.
 
     ``registry`` (a :class:`~repro.core.registry.ServiceRegistry`) is only
-    needed when the plan contains :class:`RegistryOutage` faults, and
-    ``servers`` (:class:`~repro.simnet.httpsim.SimHttpServer` instances)
-    only for :class:`ServiceStop` faults.
+    needed when the plan contains whole-registry :class:`RegistryOutage`
+    faults, and ``servers`` (:class:`~repro.simnet.httpsim.SimHttpServer`
+    instances) only for :class:`ServiceStop` faults.  ``replicas`` maps
+    replica name → handle (anything with ``set_available``, e.g.
+    :class:`~repro.registry.replica.RegistryReplica`) and is needed for
+    replica-targeted outages; a :class:`ServiceCrash` whose host name
+    matches a replica also flips that replica's availability, so killing
+    a registry host kills the registry process on it.
 
     Metrics: ``chaos_faults_injected_total{kind}`` counts fault windows
     as they begin; ``chaos_faults_active`` gauges how many are currently
@@ -52,11 +57,13 @@ class ChaosController:
         servers=(),
         metrics: MetricsRegistry | None = None,
         flight: FlightRecorder | None = None,
+        replicas=None,
     ) -> None:
         self.net = net
         self.sim = net.sim
         self.plan = plan
         self.registry = registry
+        self._replicas = dict(replicas) if replicas else {}
         self._servers = {(s.host.name, s.port): s for s in servers}
         self.metrics = metrics if metrics is not None else default_registry()
         self.flight = flight if flight is not None else default_flight_recorder()
@@ -78,10 +85,15 @@ class ChaosController:
             return
         self._started = True
         for fault in self.plan.faults:
-            if isinstance(fault, RegistryOutage) and self.registry is None:
-                raise SimulationError(
-                    "plan has a RegistryOutage but no registry was given"
-                )
+            if isinstance(fault, RegistryOutage):
+                if fault.replica is None and self.registry is None:
+                    raise SimulationError(
+                        "plan has a RegistryOutage but no registry was given"
+                    )
+                if fault.replica is not None and fault.replica not in self._replicas:
+                    raise SimulationError(
+                        f"plan targets unknown registry replica {fault.replica!r}"
+                    )
             if isinstance(fault, ServiceStop):
                 if (fault.host, fault.port) not in self._servers:
                     raise SimulationError(
@@ -146,12 +158,17 @@ class ChaosController:
             self._end(fault)
         elif isinstance(fault, ServiceCrash):
             host = self.net.host(fault.host)
+            replica = self._replicas.get(fault.host)
             host.fail()
+            if replica is not None:
+                replica.set_available(False)
             self._begin(fault, restart_after=fault.restart_after)
             if fault.restart_after is None:
                 return
             yield self.sim.timeout(fault.restart_after)
             host.recover()
+            if replica is not None:
+                replica.set_available(True)
             self._end(fault)
         elif isinstance(fault, ServiceStop):
             server = self._servers[(fault.host, fault.port)]
@@ -168,10 +185,15 @@ class ChaosController:
             host.cpu_factor /= fault.factor
             self._end(fault)
         elif isinstance(fault, RegistryOutage):
-            self.registry.set_available(False)
-            self._begin(fault)
+            target = (
+                self.registry
+                if fault.replica is None
+                else self._replicas[fault.replica]
+            )
+            target.set_available(False)
+            self._begin(fault, replica=fault.replica)
             yield self.sim.timeout(fault.duration)
-            self.registry.set_available(True)
+            target.set_available(True)
             self._end(fault)
         else:  # pragma: no cover - plan validation rejects unknown kinds
             raise SimulationError(f"unknown fault type {fault!r}")

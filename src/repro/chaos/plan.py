@@ -99,10 +99,16 @@ class SlowResponder:
 
 @dataclass(frozen=True)
 class RegistryOutage:
-    """Every registry lookup/resolve fails for the window."""
+    """Registry lookups/resolves fail for the window.
+
+    With ``replica`` unset the whole registry goes dark (the single-
+    process registry, or every replica at once); naming a replica takes
+    down just that peer — the fault a replicated registry must shrug off
+    with client failover."""
 
     at: float
     duration: float
+    replica: str | None = None
 
 
 Fault = (
@@ -210,9 +216,14 @@ class FaultPlan:
                 factor *= f.factor
         return factor
 
-    def registry_down(self, t: float) -> bool:
+    def registry_down(self, t: float, replica: str | None = None) -> bool:
+        """Is the registry (or, when ``replica`` is given, that one
+        replica) down at ``t``?  Replica-targeted outages do not count as
+        whole-registry outages and vice versa — a targeted fault is
+        exactly what the other replicas are expected to absorb."""
         return any(
-            f.at <= t < f.at + f.duration for f in self._of(RegistryOutage)
+            f.at <= t < f.at + f.duration and f.replica == replica
+            for f in self._of(RegistryOutage)
         )
 
     def horizon(self) -> float:

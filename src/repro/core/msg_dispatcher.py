@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import (
     OverloadedError,
+    RegistryUnavailable,
     ReproError,
     RoutingError,
     TransportError,
@@ -60,7 +61,12 @@ from repro.wsa import (
     rewrite_for_forwarding,
 )
 from repro.core.registry import ServiceRegistry
-from repro.core.routing import extract_logical
+from repro.core.routing import (
+    extract_logical,
+    hold_resolve_target,
+    is_hold_resolve_target,
+    split_hold_resolve_target,
+)
 
 
 @dataclass
@@ -563,6 +569,7 @@ class MsgDispatcher:
         trace: TraceContext | None = None,
         t_start: float | None = None,
         journal_seq: int | None = None,
+        from_hold: bool = False,
     ) -> None:
         headers = AddressingHeaders.from_envelope(envelope)
         now = self.clock.now()
@@ -573,8 +580,12 @@ class MsgDispatcher:
         # Duplicate absorption (config.dedupe_window): at-least-once
         # upstreams — journal replay, client resends, hold-store retries —
         # deliver the same MessageID more than once; forward only the first.
+        # A redelivery from the resolve-later hold path skips the check:
+        # its MessageID was recorded on the admission pass that parked it,
+        # and absorbing it here would silently drop the message.
         if (
-            self._dedupe is not None
+            not from_hold
+            and self._dedupe is not None
             and headers.message_id
             and self._dedupe.seen(headers.message_id)
         ):
@@ -609,6 +620,22 @@ class MsgDispatcher:
             physical = self.registry.resolve(logical)
         except UnknownServiceError:
             self.counters.inc("unknown_service")
+            raise
+        except RegistryUnavailable:
+            # A registry outage is transient — park the pre-rewrite message
+            # under a resolve-later sentinel instead of dead-lettering it
+            # (and instead of burning a delivery retry against a physical
+            # URL we never obtained).  On redelivery we re-route; raising
+            # here keeps a hold-store redelivery parked (rescheduled).
+            if (
+                not from_hold
+                and self.hold_store is not None
+                and headers.message_id
+            ):
+                self._hold_unresolved(
+                    envelope, path, headers.message_id, trace, journal_seq
+                )
+                return
             raise
 
         if self.inspector is not None:
@@ -999,6 +1026,33 @@ class MsgDispatcher:
         ):
             self.durable.mark(item.journal_seq, ABSORBED, reason="held")
 
+    def _hold_unresolved(
+        self,
+        envelope: Envelope,
+        path: str,
+        message_id: str,
+        trace: TraceContext | None,
+        journal_seq: int | None,
+    ) -> None:
+        """Registry could not answer: park the message for later
+        re-resolution under a ``hold+resolve:`` sentinel target rather
+        than dead-lettering it or burning delivery retries."""
+        self.hold_store.hold(
+            message_id, hold_resolve_target(path), envelope.to_bytes()
+        )
+        if (
+            self.durable is not None
+            and journal_seq is not None
+            and getattr(self.hold_store, "durable", None) is not None
+        ):
+            self.durable.mark(journal_seq, ABSORBED, reason="held")
+        self.counters.inc("hold_registry_unavailable")
+        log_event(
+            self._log, logging.INFO, "hold",
+            trace=trace.trace_id if trace else None,
+            reason="registry_unavailable", path=path,
+        )
+
     def _breaker_block(self, item: _OutboundItem) -> None:
         """Deny without a network attempt: park in the hold store (so the
         message survives the outage without burning retries) or drop."""
@@ -1026,6 +1080,22 @@ class MsgDispatcher:
         """Transmission function for a :class:`HoldRetryStore` bound to
         this dispatcher: breaker-aware single-shot redelivery.  Raising
         keeps the message held (the store reschedules it)."""
+        if is_hold_resolve_target(msg.target_url):
+            # Parked pre-resolution (registry was unavailable): run the
+            # routing pass again.  RegistryUnavailable propagates and the
+            # store reschedules; success re-enters the normal outbound
+            # pipeline (the rewrite preserves the MessageID, so a later
+            # delivery failure re-holds under the physical URL).
+            envelope = parse_envelope(
+                msg.envelope_bytes, counter=self._m_fastpath,
+                fast=self.config.fast_path,
+            )
+            self._route_one(
+                envelope, split_hold_resolve_target(msg.target_url),
+                trace=extract_trace(envelope), from_hold=True,
+            )
+            self.counters.inc("held_redelivered")
+            return
         key = self._endpoint_key(msg.target_url)
         if self.breakers is not None and not self.breakers.allow(key):
             raise BreakerOpenError(f"breaker open for {key}")

@@ -29,6 +29,7 @@ from repro.errors import RegistryError, RegistryUnavailable, UnknownServiceError
 from repro.obs.logkv import component_logger, log_event
 from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.soap import Envelope, RpcResponse, build_rpc_response, parse_rpc_request
+from repro.util.concurrency import SingleFlight
 from repro.util.textdb import TextFileMap
 
 #: SOAP RPC interface namespace of the registry service.
@@ -95,7 +96,12 @@ class ServiceRegistry:
         )
         self._m_cache_hits = cache_counter.labels(outcome="hit")
         self._m_cache_misses = cache_counter.labels(outcome="miss")
+        self._m_cache_coalesced = cache_counter.labels(outcome="coalesced")
         self._cache_ttl = lookup_cache_ttl
+        #: stampede protection: concurrent cache misses for one logical
+        #: name collapse into one locked resolution (the waiters count as
+        #: outcome="coalesced" instead of "miss")
+        self._miss_flight: SingleFlight[ServiceRecord] = SingleFlight()
         #: logical -> (record, monotonic deadline); plain dict, no lock —
         #: single-key get/set/pop are atomic under the GIL and a racing
         #: reader at worst re-resolves through the locked slow path
@@ -200,9 +206,12 @@ class ServiceRegistry:
 
         Read-through cached (see ``lookup_cache_ttl``): a hit returns the
         live record without taking the registry lock; a miss resolves
-        under the lock and populates the cache.  Unknown/disabled names
-        are never negatively cached — a service that registers becomes
-        resolvable immediately.
+        under the lock and populates the cache.  Concurrent misses for the
+        same name are single-flighted — one caller resolves, the rest wait
+        and share the result (outcome="coalesced"), so a cache expiry
+        under load cannot stampede the backing store.  Unknown/disabled
+        names are never negatively cached — a service that registers
+        becomes resolvable immediately.
         """
         self._m_lookups.inc()
         if not self._available:
@@ -219,7 +228,22 @@ class ServiceRegistry:
                         self._lookups += 1
                     return record
                 self._cache.pop(logical, None)
-            self._m_cache_misses.inc()
+            coalesced = False
+            try:
+                record, coalesced = self._miss_flight.run(
+                    logical, lambda: self._lookup_uncached(logical)
+                )
+            finally:
+                outcome = self._m_cache_coalesced if coalesced else self._m_cache_misses
+                outcome.inc()
+            if coalesced:
+                with self._lock:
+                    self._lookups += 1
+            return record
+        return self._lookup_uncached(logical)
+
+    def _lookup_uncached(self, logical: str) -> ServiceRecord:
+        """The locked slow path: resolve and (re)populate the cache."""
         with self._lock:
             self._lookups += 1
             record = self._records.get(logical)
@@ -278,10 +302,12 @@ class ServiceRegistry:
         ``registry_cache_total{outcome=hit|miss}``)."""
         hits = float(self._m_cache_hits.get())
         misses = float(self._m_cache_misses.get())
+        coalesced = float(self._m_cache_coalesced.get())
         total = hits + misses
         return {
             "hits": hits,
             "misses": misses,
+            "coalesced": coalesced,
             "hit_rate": hits / total if total else 0.0,
         }
 

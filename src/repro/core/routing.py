@@ -17,6 +17,27 @@ from repro.errors import RoutingError
 
 LOGICAL_SCHEME = "urn:wsd:"
 
+#: Hold-store sentinel for messages parked *before* resolution: when the
+#: registry cannot answer, the dispatcher has no physical URL yet, so the
+#: held target carries the original request path to re-route on redelivery.
+HOLD_RESOLVE_SCHEME = "hold+resolve:"
+
+
+def hold_resolve_target(path: str) -> str:
+    """Sentinel hold-store target for a message awaiting resolution."""
+    return f"{HOLD_RESOLVE_SCHEME}{path}"
+
+
+def is_hold_resolve_target(target: str) -> bool:
+    return target.startswith(HOLD_RESOLVE_SCHEME)
+
+
+def split_hold_resolve_target(target: str) -> str:
+    """Recover the original request path from a resolve-later sentinel."""
+    if not target.startswith(HOLD_RESOLVE_SCHEME):
+        raise RoutingError(f"not a hold+resolve target: {target!r}")
+    return target[len(HOLD_RESOLVE_SCHEME):]
+
 
 def logical_uri(logical: str) -> str:
     """The transport-independent logical URI for a service name."""

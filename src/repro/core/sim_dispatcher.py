@@ -14,6 +14,7 @@ import logging
 from dataclasses import dataclass, field
 
 from repro.errors import (
+    RegistryUnavailable,
     ReproError,
     RoutingError,
     SoapError,
@@ -47,7 +48,12 @@ from repro.transport.base import parse_http_url
 from repro.util.stats import Counter
 from repro.wsa import AddressingHeaders, EndpointReference, rewrite_for_forwarding
 from repro.core.registry import ServiceRegistry
-from repro.core.routing import extract_logical
+from repro.core.routing import (
+    extract_logical,
+    hold_resolve_target,
+    is_hold_resolve_target,
+    split_hold_resolve_target,
+)
 
 
 #: reply-address scheme used by the sync-over-async bridge
@@ -594,15 +600,19 @@ class SimMsgDispatcher:
         path: str,
         trace: TraceContext | None = None,
         journal_seq: int | None = None,
+        from_hold: bool = False,
     ) -> list[tuple[bytes, str, str | None, str | None]]:
         """Pure routing decision: (bytes, target_url, message_id, route span)."""
         headers = AddressingHeaders.from_envelope(envelope)
         now = self.sim.now
 
         # duplicate absorption (config.dedupe_window): forward only the
-        # first of an at-least-once upstream's redeliveries
+        # first of an at-least-once upstream's redeliveries — except a
+        # resolve-later redelivery, whose MessageID was recorded on the
+        # admission pass that parked it (absorbing would drop the message)
         if (
-            self._dedupe is not None
+            not from_hold
+            and self._dedupe is not None
             and headers.message_id
             and self._dedupe.seen(headers.message_id)
         ):
@@ -635,6 +645,35 @@ class SimMsgDispatcher:
             physical = self.registry.resolve(logical)
         except UnknownServiceError:
             self.counters.inc("unknown_service")
+            raise
+        except RegistryUnavailable:
+            # Transient registry outage: park pre-rewrite under a
+            # resolve-later sentinel instead of dead-lettering.  A hold
+            # redelivery re-raises so the pump reschedules it.
+            if (
+                not from_hold
+                and self.hold_store is not None
+                and headers.message_id
+            ):
+                self.hold_store.hold(
+                    headers.message_id,
+                    hold_resolve_target(path),
+                    envelope.to_bytes(),
+                )
+                if (
+                    self.durable is not None
+                    and journal_seq is not None
+                    and getattr(self.hold_store, "durable", None) is not None
+                ):
+                    self.durable.mark(journal_seq, ABSORBED, reason="held")
+                self.counters.inc("hold_registry_unavailable")
+                log_event(
+                    self._log, logging.INFO, "hold",
+                    trace=trace.trace_id if trace else None,
+                    reason="registry_unavailable", path=path,
+                )
+                self._ensure_hold_pump()
+                return []
             raise
         result = rewrite_for_forwarding(
             envelope, physical, self.own_address,
@@ -1087,6 +1126,9 @@ class SimMsgDispatcher:
 
     def _requeue_held(self, msg) -> None:
         """Feed one claimed held message back into a destination queue."""
+        if is_hold_resolve_target(msg.target_url):
+            self._requeue_unresolved(msg)
+            return
         try:
             endpoint, path = parse_http_url(msg.target_url)
         except ReproError:
@@ -1102,6 +1144,48 @@ class SimMsgDispatcher:
             return
         self.counters.inc("held_requeued")
         self._ensure_worker(dest_key, store)
+
+    def _requeue_unresolved(self, msg) -> None:
+        """Re-run the routing pass for a message parked while the registry
+        was unavailable.  Still-unavailable (or any transient routing
+        error) reschedules; a routed message re-enters the outbound
+        pipeline under its preserved MessageID, so the eventual delivery
+        completes the hold entry."""
+        path = split_hold_resolve_target(msg.target_url)
+        try:
+            envelope = parse_envelope(
+                msg.envelope_bytes, counter=self._m_fastpath,
+                fast=self.config.fast_path,
+            )
+            outbound = self._route_one(
+                envelope, path, trace=extract_trace(envelope), from_hold=True
+            )
+        except ReproError:
+            self.hold_store.reschedule(msg.message_id, now=self.sim.now)
+            return
+        if not outbound:
+            # handled in-band (correlation, sync waiter): nothing left to
+            # deliver, so the hold entry is done
+            self.hold_store.complete(msg.message_id)
+            return
+        requeued = False
+        for body, target_url, message_id, parent_sid in outbound:
+            try:
+                endpoint, out_path = parse_http_url(target_url)
+            except ReproError:
+                continue
+            dest_key = f"{endpoint.host}:{endpoint.port}"
+            store = self._dest_store(dest_key)
+            if store.try_put(
+                (out_path, body, message_id, None, parent_sid, self.sim.now,
+                 None)
+            ):
+                requeued = True
+                self._ensure_worker(dest_key, store)
+        if requeued:
+            self.counters.inc("held_requeued")
+        else:
+            self.hold_store.reschedule(msg.message_id, now=self.sim.now)
 
     def _absorb_inband_response(
         self,

@@ -24,6 +24,7 @@ from repro.experiments import (
     fig4,
     fig5,
     fig6,
+    registryfailover,
     table1,
 )
 from repro.workload.results import render_ascii_plot
@@ -45,7 +46,7 @@ def main(argv: list[str] | None = None) -> int:
         choices=[
             "fig4", "fig5", "fig6", "table1",
             "msgbox-bug", "pool-sizing", "batching", "reliability", "chaos",
-            "crash-recovery", "drain",
+            "crash-recovery", "drain", "registry-failover",
         ],
     )
     parser.add_argument(
@@ -124,6 +125,10 @@ def main(argv: list[str] | None = None) -> int:
         report = drain.run(runtime=args.runtime, messages=messages)
         print(report.render())
         failures = drain.check_shape(report)
+    elif name == "registry-failover":
+        report = registryfailover.run()
+        print(report.render())
+        failures = registryfailover.check_shape(report)
     else:  # reliability
         report = ablations.reliability()
         print(report.render())

@@ -1,0 +1,33 @@
+"""Replicated, gossip-synced service discovery (ROADMAP item 2).
+
+The package splits along the paper's registry seam:
+
+- :mod:`repro.registry.replica` — one peer's version-vectored,
+  journal-backed entry store (LWW-per-field merge, tombstones);
+- :mod:`repro.registry.gossip` — the anti-entropy exchange: digest
+  compare, delta sync, HTTP endpoint, threaded and simulated drivers;
+- :mod:`repro.registry.client` — replica failover for the dispatchers:
+  shuffled preference order, per-replica breakers, jittered retry, TTL
+  cache with single-flight misses.
+"""
+
+from repro.registry.client import ReplicatedRegistryClient
+from repro.registry.gossip import (
+    GOSSIP_PATH,
+    GossipDaemon,
+    GossipHandler,
+    SimGossipPeer,
+    sync_pair,
+)
+from repro.registry.replica import REGISTRY_KIND, RegistryReplica
+
+__all__ = [
+    "GOSSIP_PATH",
+    "GossipDaemon",
+    "GossipHandler",
+    "REGISTRY_KIND",
+    "RegistryReplica",
+    "ReplicatedRegistryClient",
+    "SimGossipPeer",
+    "sync_pair",
+]

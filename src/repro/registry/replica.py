@@ -1,0 +1,457 @@
+"""One registry replica: a version-vectored, gossip-convergent record store.
+
+The single-process :class:`~repro.core.registry.ServiceRegistry` is the
+paper's registry module; this is its P2P-scale replacement (ROADMAP item
+2, motivated by the Srirama et al. discovery line in PAPERS.md): N
+replicas each hold the full entry set, accept writes locally, and
+converge by anti-entropy gossip (:mod:`repro.registry.gossip`).
+
+State model — last-writer-wins per field, with tombstones:
+
+- Every mutation is stamped ``(lamport, peer_id)``; stamps are totally
+  ordered (lamport first, peer id breaks ties), so any two replicas
+  merge any two values of one field identically.
+- An entry carries four independently-stamped slots: ``life`` (alive or
+  tombstone — the register/unregister axis), ``physical``, ``metadata``,
+  and ``enabled``.  ``unregister`` writes a *tombstone* into ``life``
+  rather than deleting the entry, so a removal gossips and cannot be
+  resurrected by a replica that still holds the older register;
+  resurrection requires a register with a *higher* stamp.
+- The version vector ``{peer: max lamport seen}`` summarises what a
+  replica holds.  A digest exchange compares vectors; the delta is every
+  entry holding a stamp the other side's vector does not dominate.
+  Merging whole entries per-field is idempotent and order-insensitive —
+  re-gossiping the same delta is a no-op.
+
+Durability: each applied entry state is journaled to a
+:class:`~repro.store.MessageJournal` (``kind="registry"``), the previous
+record for that name retired as ``absorbed(superseded)``.  A SIGKILL'd
+replica rebuilds from the journal's ``undelivered`` scan and converges
+with its peers via ordinary gossip — recovery needs no special protocol.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.registry import ServiceRecord
+from repro.errors import RegistryError, RegistryUnavailable, UnknownServiceError
+from repro.obs.logkv import component_logger, log_event
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.store.journal import ABSORBED, MessageJournal
+
+#: journal ``kind`` under which replicas log entry states
+REGISTRY_KIND = "registry"
+
+#: a stamp: (lamport, peer_id) — lexicographic order is the LWW order
+Stamp = tuple[int, str]
+
+_SLOTS = ("life", "physical", "metadata", "enabled")
+
+
+@dataclass
+class _Entry:
+    """Per-name replicated state: four independently-stamped slots."""
+
+    logical: str
+    life: tuple[Stamp, bool]            # alive=True / tombstone=False
+    physical: tuple[Stamp, list[str]]
+    metadata: tuple[Stamp, dict[str, str]]
+    enabled: tuple[Stamp, bool]
+
+    @property
+    def alive(self) -> bool:
+        return self.life[1]
+
+    def stamps(self) -> list[Stamp]:
+        return [self.life[0], self.physical[0], self.metadata[0],
+                self.enabled[0]]
+
+    def to_wire(self) -> dict:
+        """JSON-safe dict; stamps flattened to ``[lamport, peer, value]``."""
+        out: dict = {"logical": self.logical}
+        for slot in _SLOTS:
+            (lamport, peer), value = getattr(self, slot)
+            out[slot] = [lamport, peer, value]
+        return out
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "_Entry":
+        logical = payload.get("logical")
+        if not isinstance(logical, str) or not logical:
+            raise RegistryError(f"bad gossip entry (logical): {payload!r}")
+        slots = {}
+        for slot in _SLOTS:
+            triple = payload.get(slot)
+            if not isinstance(triple, (list, tuple)) or len(triple) != 3:
+                raise RegistryError(f"bad gossip entry ({slot}): {payload!r}")
+            lamport, peer, value = triple
+            if not isinstance(lamport, int) or not isinstance(peer, str):
+                raise RegistryError(f"bad gossip stamp ({slot}): {payload!r}")
+            slots[slot] = ((lamport, peer), value)
+        life = slots["life"]
+        physical = slots["physical"]
+        metadata = slots["metadata"]
+        enabled = slots["enabled"]
+        return cls(
+            logical,
+            (life[0], bool(life[1])),
+            (physical[0], [str(u) for u in (physical[1] or [])]),
+            (metadata[0], {str(k): str(v)
+                           for k, v in (metadata[1] or {}).items()}),
+            (enabled[0], bool(enabled[1])),
+        )
+
+    def merge(self, other: "_Entry") -> bool:
+        """Per-field LWW merge of ``other`` into self; True if changed."""
+        changed = False
+        for slot in _SLOTS:
+            mine = getattr(self, slot)
+            theirs = getattr(other, slot)
+            if theirs[0] > mine[0]:
+                setattr(self, slot, theirs)
+                changed = True
+        return changed
+
+
+class RegistryReplica:
+    """A single gossip peer holding the replicated service directory.
+
+    Duck-compatible with :class:`~repro.core.registry.ServiceRegistry`
+    where the dispatchers care (``lookup``/``resolve``/``register``/
+    ``unregister``/``set_enabled``/``set_available``/``list_services``),
+    plus the anti-entropy surface (:meth:`digest`, :meth:`delta_for`,
+    :meth:`apply_delta`) the gossip layer drives.
+    """
+
+    def __init__(
+        self,
+        peer_id: str,
+        journal: MessageJournal | None = None,
+        selector: Callable[[ServiceRecord], str] | None = None,
+        metrics: MetricsRegistry | None = None,
+        recover: bool = True,
+    ) -> None:
+        if not peer_id:
+            raise RegistryError("replica needs a non-empty peer_id")
+        self.peer_id = peer_id
+        self.journal = journal
+        self.metrics = metrics if metrics is not None else default_registry()
+        self._selector = selector or (lambda record: record.physical[0])
+        self._log = component_logger("registry-replica")
+        self._lock = threading.RLock()
+        self._entries: dict[str, _Entry] = {}
+        #: alive entries materialised as ServiceRecords (lookup hot path)
+        self._records: dict[str, ServiceRecord] = {}
+        self._vv: dict[str, int] = {}
+        self._journal_seq: dict[str, int] = {}
+        self._append_n = 0
+        self._available = True
+        self._lookups = 0
+        self._misses = 0
+        self.applied_total = 0
+        self.restored = 0
+        self._m_applied = self.metrics.counter(
+            "registry_gossip_entries_applied_total",
+            "remote entry states merged in, by peer",
+        ).labels(peer=peer_id)
+        self.metrics.gauge(
+            "registry_replica_entries", "directory entries held, by peer"
+        ).labels(peer=peer_id).set_function(lambda: float(len(self)))
+        if journal is not None and recover:
+            self.restored = self._restore()
+
+    # -- local mutation (stamped, journaled) -------------------------------
+    def _check_available(self) -> None:
+        """A crashed/faulted replica refuses writes as well as reads —
+        accepting a registration the process cannot gossip or journal
+        would silently strand it (call with the lock held)."""
+        if not self._available:
+            raise RegistryUnavailable(
+                f"registry replica {self.peer_id} is unavailable"
+            )
+
+    def _next_stamp(self) -> Stamp:
+        """A stamp dominating everything this replica has ever seen."""
+        lamport = max(self._vv.values(), default=0) + 1
+        self._vv[self.peer_id] = lamport
+        return (lamport, self.peer_id)
+
+    def register(
+        self,
+        logical: str,
+        physical: str | list[str],
+        metadata: dict[str, str] | None = None,
+    ) -> ServiceRecord:
+        addresses = [physical] if isinstance(physical, str) else list(physical)
+        # validate through the canonical record type
+        record = ServiceRecord(logical, addresses, metadata=dict(metadata or {}))
+        with self._lock:
+            self._check_available()
+            stamp = self._next_stamp()
+            entry = _Entry(
+                logical,
+                (stamp, True),
+                (stamp, list(record.physical)),
+                (stamp, dict(record.metadata)),
+                (stamp, True),
+            )
+            existing = self._entries.get(logical)
+            if existing is not None:
+                existing.merge(entry)
+                entry = existing
+            else:
+                self._entries[logical] = entry
+            self._materialise(entry)
+            self._journal_entry(entry)
+        log_event(
+            self._log, logging.INFO, "register", peer=self.peer_id,
+            logical=logical, physical=",".join(addresses),
+        )
+        return self._records.get(logical, record)
+
+    def unregister(self, logical: str) -> bool:
+        with self._lock:
+            self._check_available()
+            entry = self._entries.get(logical)
+            existed = entry is not None and entry.alive
+            stamp = self._next_stamp()
+            if entry is None:
+                # tombstone a name never seen here: guards against a
+                # concurrent register still in flight on another replica
+                entry = _Entry(
+                    logical, (stamp, False), (stamp, []), (stamp, {}),
+                    (stamp, True),
+                )
+                self._entries[logical] = entry
+            else:
+                entry.life = (stamp, False)
+            self._materialise(entry)
+            self._journal_entry(entry)
+        if existed:
+            log_event(
+                self._log, logging.INFO, "unregister", peer=self.peer_id,
+                logical=logical,
+            )
+        return existed
+
+    def set_enabled(self, logical: str, enabled: bool) -> None:
+        with self._lock:
+            self._check_available()
+            entry = self._entries.get(logical)
+            if entry is None or not entry.alive:
+                raise UnknownServiceError(logical)
+            entry.enabled = (self._next_stamp(), enabled)
+            self._materialise(entry)
+            self._journal_entry(entry)
+
+    # -- lookup (the dispatcher-facing surface) ----------------------------
+    def lookup(self, logical: str) -> ServiceRecord:
+        with self._lock:
+            self._lookups += 1
+            self._check_available()
+            record = self._records.get(logical)
+            if record is None or not record.enabled:
+                self._misses += 1
+                raise UnknownServiceError(logical)
+            return record
+
+    def resolve(self, logical: str) -> str:
+        record = self.lookup(logical)
+        with self._lock:
+            return self._selector(record)
+
+    def list_services(self) -> list[ServiceRecord]:
+        with self._lock:
+            return sorted(self._records.values(), key=lambda r: r.logical)
+
+    def __contains__(self, logical: str) -> bool:
+        with self._lock:
+            record = self._records.get(logical)
+            return record is not None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def set_available(self, available: bool) -> None:
+        """Fault switch: an unavailable replica refuses lookups *and*
+        gossip (both directions) until restored — a crashed process."""
+        with self._lock:
+            self._available = available
+        log_event(
+            self._log, logging.WARNING,
+            "available" if available else "unavailable", peer=self.peer_id,
+        )
+
+    @property
+    def available(self) -> bool:
+        return self._available
+
+    # -- anti-entropy surface ----------------------------------------------
+    def merge_vv(self, remote_vv: dict[str, int]) -> None:
+        """Adopt a peer's frontier element-wise.  ONLY sound after a full
+        exchange — the caller must already hold every entry the remote
+        vector summarizes (a superseded event's stamp survives in no
+        entry, so without this step the losing side of an LWW tie could
+        never be marked as seen and convergence would never be reached).
+        """
+        with self._lock:
+            self._check_available()
+            for peer, lamport in remote_vv.items():
+                if lamport > self._vv.get(peer, 0):
+                    self._vv[peer] = lamport
+
+    @property
+    def vv(self) -> dict[str, int]:
+        """Version vector: max lamport seen per peer (a copy)."""
+        with self._lock:
+            return dict(self._vv)
+
+    def digest(self) -> dict:
+        """The summary exchanged each gossip round: who am I, what do I
+        hold.  Content depends only on applied stamps — two converged
+        replicas always produce equal vectors regardless of arrival
+        order or PYTHONHASHSEED."""
+        with self._lock:
+            return {"peer": self.peer_id, "vv": dict(self._vv)}
+
+    def delta_for(self, remote_vv: dict[str, int]) -> list[dict]:
+        """Entries holding any stamp the remote vector does not dominate,
+        sorted by logical name (deterministic wire order)."""
+        out = []
+        with self._lock:
+            for logical in sorted(self._entries):
+                entry = self._entries[logical]
+                if any(
+                    lamport > remote_vv.get(peer, 0)
+                    for lamport, peer in entry.stamps()
+                ):
+                    out.append(entry.to_wire())
+        return out
+
+    def apply_delta(self, entries: list[dict]) -> int:
+        """State-based merge of received entries; returns how many local
+        entries changed.  Idempotent: re-applying a delta changes nothing
+        and advances nothing."""
+        changed = 0
+        with self._lock:
+            if not self._available:
+                raise RegistryUnavailable(
+                    f"registry replica {self.peer_id} is unavailable"
+                )
+            for payload in entries:
+                incoming = _Entry.from_wire(payload)
+                entry = self._entries.get(incoming.logical)
+                if entry is None:
+                    entry = incoming
+                    self._entries[incoming.logical] = entry
+                    merged = True
+                else:
+                    merged = entry.merge(incoming)
+                for lamport, peer in incoming.stamps():
+                    if lamport > self._vv.get(peer, 0):
+                        self._vv[peer] = lamport
+                if merged:
+                    changed += 1
+                    self._materialise(entry)
+                    self._journal_entry(entry)
+        if changed:
+            self.applied_total += changed
+            self._m_applied.inc(changed)
+        return changed
+
+    # -- internals ---------------------------------------------------------
+    def _materialise(self, entry: _Entry) -> None:
+        """Rebuild the lookup-facing ServiceRecord after any change."""
+        if entry.alive and entry.physical[1]:
+            self._records[entry.logical] = ServiceRecord(
+                entry.logical,
+                list(entry.physical[1]),
+                metadata=dict(entry.metadata[1]),
+                enabled=entry.enabled[1],
+            )
+        else:
+            self._records.pop(entry.logical, None)
+
+    def _journal_entry(self, entry: _Entry) -> None:
+        """Append the entry's new state; retire the state it supersedes."""
+        if self.journal is None:
+            return
+        self._append_n += 1
+        body = json.dumps(entry.to_wire(), sort_keys=True).encode()
+        seq = self.journal.append(
+            f"{self.peer_id}:{entry.logical}:{self._append_n}",
+            entry.logical, body, kind=REGISTRY_KIND,
+        )
+        prev = self._journal_seq.get(entry.logical)
+        if prev is not None:
+            self.journal.mark(prev, ABSORBED, reason="superseded")
+        self._journal_seq[entry.logical] = seq
+
+    def _restore(self) -> int:
+        """Rebuild state from the journal (crash rejoin).  Records are
+        scanned in sequence order; marks lost in the crash can leave more
+        than one ``enqueued`` state per name, so the latest wins and the
+        stragglers are retired."""
+        count = 0
+        with self._lock:
+            for rec in self.journal.undelivered(kind=REGISTRY_KIND):
+                try:
+                    entry = _Entry.from_wire(json.loads(rec.body.decode()))
+                except (RegistryError, ValueError, UnicodeDecodeError):
+                    continue
+                prev_seq = self._journal_seq.get(entry.logical)
+                if prev_seq is not None:
+                    self.journal.mark(prev_seq, ABSORBED, reason="superseded")
+                self._journal_seq[entry.logical] = rec.seq
+                existing = self._entries.get(entry.logical)
+                if existing is None:
+                    self._entries[entry.logical] = entry
+                else:
+                    existing.merge(entry)
+                    entry = existing
+                for lamport, peer in entry.stamps():
+                    if lamport > self._vv.get(peer, 0):
+                        self._vv[peer] = lamport
+                self._materialise(entry)
+                count += 1
+        if count:
+            log_event(
+                self._log, logging.INFO, "restore", peer=self.peer_id,
+                entries=count,
+            )
+        return count
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "lookups": self._lookups,
+                "misses": self._misses,
+                "entries": len(self._records),
+                "tombstones": sum(
+                    1 for e in self._entries.values() if not e.alive
+                ),
+                "applied": self.applied_total,
+                "restored": self.restored,
+            }
+
+    def snapshot(self) -> dict:
+        """Health-surface view of this replica (per-replica ``/health``)."""
+        with self._lock:
+            return {
+                "peer": self.peer_id,
+                "available": self._available,
+                "entries": len(self._records),
+                "tombstones": sum(
+                    1 for e in self._entries.values() if not e.alive
+                ),
+                "vv": dict(sorted(self._vv.items())),
+                "durable": self.journal is not None,
+            }

@@ -310,6 +310,67 @@ class BoundedExecutor:
                 t.join(timeout)
 
 
+class _Flight(Generic[T]):
+    """One in-progress call shared by a leader and its waiters."""
+
+    __slots__ = ("done", "result", "exc")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.result: Optional[T] = None
+        self.exc: BaseException | None = None
+
+
+class SingleFlight(Generic[T]):
+    """Coalesce concurrent calls for the same key behind one execution.
+
+    The first caller for a key becomes the *leader* and runs ``fn``;
+    callers that arrive while the leader is in flight block and share the
+    leader's result (or exception).  The flight is retired before waiters
+    wake, so a call that starts *after* the leader finished always runs
+    fresh — stale results are never replayed.
+
+    This is stampede protection for read-through caches: N concurrent
+    misses for one registry name collapse into one trip to the backing
+    store (or one failover sweep across registry replicas).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: dict[object, _Flight[T]] = {}
+
+    def run(self, key: object, fn: Callable[[], T]) -> tuple[T, bool]:
+        """Run ``fn`` (or wait for the in-flight run); returns
+        ``(result, coalesced)`` where ``coalesced`` is True for waiters
+        that shared a leader's flight."""
+        with self._lock:
+            flight = self._flights.get(key)
+            leader = flight is None
+            if leader:
+                flight = _Flight()
+                self._flights[key] = flight
+        if leader:
+            try:
+                flight.result = fn()
+            except BaseException as exc:
+                flight.exc = exc
+                raise
+            finally:
+                with self._lock:
+                    self._flights.pop(key, None)
+                flight.done.set()
+            return flight.result, False
+        flight.done.wait()
+        if flight.exc is not None:
+            raise flight.exc
+        return flight.result, True
+
+    def inflight(self) -> int:
+        """Number of keys with a flight currently executing."""
+        with self._lock:
+            return len(self._flights)
+
+
 def join_all(threads: Iterable[threading.Thread], timeout: float = 5.0) -> None:
     """Join helper that bounds total wait instead of per-thread wait."""
     import time

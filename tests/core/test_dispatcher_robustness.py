@@ -48,12 +48,15 @@ def wait_for(predicate, timeout=5.0):
 
 
 def make_dispatcher(
-    backend, client, metrics, hold_store=None, breaker=None, **kwargs
+    backend, client, metrics, hold_store=None, breaker=None, registry=None,
+    **kwargs
 ):
-    registry = ServiceRegistry()
-    registry.register("echo", "http://dead:9000/echo")
+    if registry is None:
+        registry = ServiceRegistry()
+        registry.register("echo", "http://dead:9000/echo")
     config_kw = {
-        k: kwargs.pop(k) for k in ("max_inflight",) if k in kwargs
+        k: kwargs.pop(k)
+        for k in ("max_inflight", "dedupe_window") if k in kwargs
     }
     config = MsgDispatcherConfig(
         cx_threads=1, ws_threads=2, pipeline_batches=False,
@@ -143,6 +146,68 @@ def test_recovery_closes_breaker_and_redelivers_held(dispatcher_backend):
         assert hold_store.stats["expired"] == 0
         snap = dispatcher.breakers.snapshot()
         assert snap["destinations"]["dead:9000"]["state"] == "closed"
+    finally:
+        dispatcher.stop()
+
+
+def test_registry_outage_parks_then_redelivers(dispatcher_backend):
+    """RegistryUnavailable mid-drain parks the message pre-resolution;
+    when the registry comes back the pump re-routes and delivers it —
+    without the redelivery being absorbed as a duplicate."""
+    metrics = MetricsRegistry()
+    client = FakeClient(failing=False)
+    registry = ServiceRegistry()
+    registry.register("echo", "http://ws:9000/echo")
+    registry.set_available(False)
+    hold_store = HoldRetryStore(
+        policy=FixedDelay(max_attempts=1000, delay=0.05), default_ttl=600.0
+    )
+    dispatcher = make_dispatcher(
+        dispatcher_backend, client, metrics, hold_store=hold_store,
+        registry=registry, hold_pump_interval=0.05, dedupe_window=600.0,
+    )
+    try:
+        feed(dispatcher, 3)
+        assert wait_for(
+            lambda: dispatcher.stats.get("hold_registry_unavailable", 0) == 3
+        ), dispatcher.stats
+        # parked, not dead-lettered, and the dead registry was never a
+        # reason to touch the network
+        assert dispatcher.stats.get("dropped_unroutable", 0) == 0
+        assert hold_store.pending() == 3
+        assert client.calls == 0
+
+        registry.set_available(True)
+        assert wait_for(lambda: hold_store.pending() == 0, timeout=10.0), (
+            dispatcher.stats, hold_store.stats,
+        )
+        assert wait_for(
+            lambda: dispatcher.stats.get("delivered", 0) == 3
+        ), dispatcher.stats
+        assert client.calls == 3
+        # the MessageIDs were recorded on the admission pass that parked
+        # them; the from-hold routing pass must skip the duplicate filter
+        assert dispatcher.stats.get("duplicates_suppressed", 0) == 0
+        assert hold_store.stats["delivered"] == 3
+    finally:
+        dispatcher.stop()
+
+
+def test_registry_outage_without_hold_store_dead_letters(dispatcher_backend):
+    metrics = MetricsRegistry()
+    client = FakeClient(failing=False)
+    registry = ServiceRegistry()
+    registry.register("echo", "http://ws:9000/echo")
+    registry.set_available(False)
+    dispatcher = make_dispatcher(
+        dispatcher_backend, client, metrics, registry=registry
+    )
+    try:
+        feed(dispatcher, 2)
+        assert wait_for(
+            lambda: dispatcher.stats.get("dropped_unroutable", 0) == 2
+        ), dispatcher.stats
+        assert client.calls == 0
     finally:
         dispatcher.stop()
 

@@ -190,7 +190,9 @@ class TestLookupCache:
         for _ in range(10):
             assert reg.lookup("echo").logical == "echo"
         stats = reg.cache_stats()
-        assert stats == {"hits": 9.0, "misses": 1.0, "hit_rate": 0.9}
+        assert stats == {
+            "hits": 9.0, "misses": 1.0, "coalesced": 0.0, "hit_rate": 0.9,
+        }
 
     def test_resolve_goes_through_the_cache(self):
         reg = self._registry()
@@ -216,7 +218,9 @@ class TestLookupCache:
         reg.register("echo", "http://ws:9000/echo")
         reg.lookup("echo")
         reg.lookup("echo")
-        assert reg.cache_stats() == {"hits": 0.0, "misses": 0.0, "hit_rate": 0.0}
+        assert reg.cache_stats() == {
+            "hits": 0.0, "misses": 0.0, "coalesced": 0.0, "hit_rate": 0.0,
+        }
 
     def test_unknown_name_is_never_negatively_cached(self):
         reg = self._registry()

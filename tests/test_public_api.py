@@ -23,6 +23,7 @@ def test_top_level_exports():
         "repro.msgbox",
         "repro.obs",
         "repro.conversation",
+        "repro.registry",
         "repro.reliable",
         "repro.soap",
         "repro.soap.binxml",
